@@ -1,0 +1,298 @@
+//! In-isolation static cache analysis: guaranteed hits under a timer.
+//!
+//! The optimization engine (§V) needs the Θ → M_hit relationship, which
+//! depends on the application's memory behaviour and is therefore computed
+//! by walking the task's trace against a model of its private cache. The
+//! key soundness argument (from PENDULUM\* [17]): with a timer θ, a line
+//! fetched at time `t` cannot be stolen before `t + θ` no matter what the
+//! co-runners do, because the countdown counter's first expiry is θ cycles
+//! after Load. The analysis therefore trusts a line only inside the window
+//! `[fill, fill + θ)` and assumes an adversary steals it at the first
+//! expiry; every hit it counts is a hit in *any* concurrent execution.
+//!
+//! Virtual time advances by the hit latency for guaranteed hits and by a
+//! caller-provided `miss_penalty` (the core's per-request WCL bound) for
+//! misses — using the *maximal* miss penalty is conservative: real
+//! executions run earlier accesses sooner, keeping them inside the window.
+//!
+//! ## The re-anchoring subtlety
+//!
+//! When the analysis declares a miss (window expired), it re-anchors the
+//! model window at the worst-case refill instant. A *real* run may have hit
+//! there instead (no adversary materialised), leaving the real counter
+//! anchored at the older fill — so a later access the analysis counts as a
+//! guaranteed hit can, in that real run, land just after one of the old
+//! anchor's expiry boundaries and really miss. This does not break the
+//! Eq. 2 bound: each such divergence starts at an analysis miss that was
+//! charged a full `WCL` the real run did not spend, and the real miss it
+//! displaces re-synchronises the real anchor, so real misses never
+//! outnumber analysis misses. The claim is enforced empirically by the
+//! `anchor_divergence_fuzz` example (tens of thousands of adversarial
+//! schedules phased against the window boundaries) on top of the general
+//! soundness property tests.
+
+use cohort_sim::{CacheGeometry, SetAssocCache};
+use cohort_types::{Cycles, TimerValue};
+use cohort_trace::Trace;
+
+/// Result of the guaranteed-hit analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct HitMissCounts {
+    /// Accesses guaranteed to hit under any co-runner behaviour.
+    pub hits: u64,
+    /// Accesses that must be assumed misses.
+    pub misses: u64,
+}
+
+impl HitMissCounts {
+    /// Total accesses analysed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ModelLine {
+    /// Virtual fill instant (window anchor).
+    fill: Cycles,
+    /// Whether the fill granted write permission.
+    modified: bool,
+}
+
+/// Computes the guaranteed hits and misses of `trace` on a core with timer
+/// `timer`, private-cache `geometry`, and the given latencies.
+///
+/// For θ = −1 (MSI) the analysis returns zero hits — without timers the
+/// in-isolation analysis is not preserved under contention (Eq. 3's
+/// premise). For θ = 0 likewise: the window is empty.
+///
+/// # Examples
+///
+/// ```
+/// use cohort_analysis::guaranteed_hits;
+/// use cohort_sim::CacheGeometry;
+/// use cohort_trace::{Trace, TraceOp};
+/// use cohort_types::{Cycles, TimerValue};
+///
+/// let trace = Trace::from_ops(vec![
+///     TraceOp::store(0),
+///     TraceOp::store(0).after(5), // within a 100-cycle window: guaranteed
+/// ]);
+/// let counts = guaranteed_hits(
+///     &trace,
+///     TimerValue::timed(100)?,
+///     &CacheGeometry::paper_l1(),
+///     Cycles::new(1),
+///     Cycles::new(216),
+/// );
+/// assert_eq!(counts.hits, 1);
+/// assert_eq!(counts.misses, 1);
+/// # Ok::<(), cohort_types::Error>(())
+/// ```
+#[must_use]
+pub fn guaranteed_hits(
+    trace: &Trace,
+    timer: TimerValue,
+    geometry: &CacheGeometry,
+    hit_latency: Cycles,
+    miss_penalty: Cycles,
+) -> HitMissCounts {
+    let Some(theta) = timer.theta().filter(|&t| t > 0) else {
+        // MSI (or a zero window): no guaranteed hits.
+        return HitMissCounts { hits: 0, misses: trace.len() as u64 };
+    };
+    let mut cache: SetAssocCache<ModelLine> = SetAssocCache::new(*geometry);
+    let mut counts = HitMissCounts::default();
+    let mut now = Cycles::ZERO;
+    for op in trace.iter() {
+        now += op.gap;
+        let in_window = cache.peek(op.line).map(|l| {
+            (now.get() - l.fill.get()) < theta && (!op.kind.is_store() || l.modified)
+        });
+        match in_window {
+            Some(true) => {
+                counts.hits += 1;
+                cache.touch(op.line);
+                now += hit_latency;
+            }
+            _ => {
+                counts.misses += 1;
+                now += miss_penalty;
+                // Refill: a fresh window anchored at the (worst-case)
+                // completion instant, with the permission the request gains.
+                cache.insert(op.line, ModelLine { fill: now, modified: op.kind.is_store() });
+            }
+        }
+    }
+    counts
+}
+
+/// Finds the timer saturation value `θ_sat`: the smallest θ at which the
+/// task's guaranteed hits stop growing (the upper bound of the GA search
+/// box in §V). The sweep runs in isolation with the uncontended miss
+/// penalty, mirroring the paper's "sweeping timer values for `c_i` in
+/// isolation".
+///
+/// Exploits the monotonicity of hits in θ (a longer window can only keep
+/// more lines alive) for a logarithmic search; the property-based tests
+/// check that monotonicity on random traces.
+///
+/// # Examples
+///
+/// ```
+/// use cohort_analysis::theta_saturation;
+/// use cohort_sim::CacheGeometry;
+/// use cohort_trace::{Trace, TraceOp};
+/// use cohort_types::Cycles;
+///
+/// // Revisit after 10 virtual cycles: saturates as soon as θ covers it.
+/// let trace = Trace::from_ops(vec![TraceOp::store(0), TraceOp::store(0).after(10)]);
+/// let sat = theta_saturation(&trace, &CacheGeometry::paper_l1(), Cycles::new(1), Cycles::new(54));
+/// assert!(sat >= 10 && sat <= 16, "saturation near the reuse distance, got {sat}");
+/// ```
+#[must_use]
+pub fn theta_saturation(
+    trace: &Trace,
+    geometry: &CacheGeometry,
+    hit_latency: Cycles,
+    miss_penalty: Cycles,
+) -> u64 {
+    let max_theta = TimerValue::MAX_THETA;
+    let hits_at = |theta: u64| {
+        guaranteed_hits(
+            trace,
+            TimerValue::timed(theta).expect("θ within register range"),
+            geometry,
+            hit_latency,
+            miss_penalty,
+        )
+        .hits
+    };
+    let saturated = hits_at(max_theta);
+    if hits_at(1) == saturated {
+        return 1;
+    }
+    let (mut lo, mut hi) = (1u64, max_theta);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if hits_at(mid) == saturated {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohort_trace::TraceOp;
+
+    const L1: CacheGeometry = CacheGeometry::paper_l1();
+    const HIT: Cycles = Cycles::new(1);
+    const PENALTY: Cycles = Cycles::new(216);
+
+    fn timed(theta: u64) -> TimerValue {
+        TimerValue::timed(theta).unwrap()
+    }
+
+    #[test]
+    fn msi_core_has_no_guaranteed_hits() {
+        let trace = Trace::from_ops(vec![TraceOp::store(0); 10]);
+        let counts = guaranteed_hits(&trace, TimerValue::MSI, &L1, HIT, PENALTY);
+        assert_eq!(counts.hits, 0);
+        assert_eq!(counts.misses, 10);
+    }
+
+    #[test]
+    fn window_expiry_forces_a_refill() {
+        // Second access 10 cycles after fill, third 300 cycles later:
+        // θ = 100 covers the first revisit only.
+        let trace = Trace::from_ops(vec![
+            TraceOp::store(0),
+            TraceOp::store(0).after(10),
+            TraceOp::store(0).after(300),
+        ]);
+        let counts = guaranteed_hits(&trace, timed(100), &L1, HIT, PENALTY);
+        assert_eq!(counts.hits, 1);
+        assert_eq!(counts.misses, 2);
+    }
+
+    #[test]
+    fn store_after_load_is_not_guaranteed() {
+        // A load fills with read permission; the store needs an upgrade.
+        let trace = Trace::from_ops(vec![
+            TraceOp::load(0),
+            TraceOp::store(0).after(2),
+            TraceOp::load(0).after(2), // hits: the upgrade granted M
+        ]);
+        let counts = guaranteed_hits(&trace, timed(100), &L1, HIT, PENALTY);
+        assert_eq!(counts.hits, 1);
+        assert_eq!(counts.misses, 2);
+    }
+
+    #[test]
+    fn conflict_evictions_are_respected() {
+        // Lines 0 and 256 conflict in the direct-mapped L1.
+        let trace = Trace::from_ops(vec![
+            TraceOp::load(0),
+            TraceOp::load(256),
+            TraceOp::load(0).after(1),
+        ]);
+        let counts = guaranteed_hits(&trace, timed(60_000), &L1, HIT, PENALTY);
+        assert_eq!(counts.hits, 0);
+        assert_eq!(counts.misses, 3);
+    }
+
+    #[test]
+    fn hits_monotone_in_theta_on_a_kernel() {
+        let w = cohort_trace::KernelSpec::new(cohort_trace::Kernel::Fft, 2)
+            .with_total_requests(4_000)
+            .generate();
+        let trace = &w.traces()[0];
+        let mut previous = 0;
+        for theta in [1u64, 4, 16, 64, 256, 1024, 4096, 65_535] {
+            let h = guaranteed_hits(trace, timed(theta), &L1, HIT, PENALTY).hits;
+            assert!(h >= previous, "θ={theta}: {h} < {previous}");
+            previous = h;
+        }
+        assert!(previous > 0, "a reuse-heavy kernel must have guaranteed hits");
+    }
+
+    #[test]
+    fn saturation_is_a_fixed_point() {
+        let w = cohort_trace::KernelSpec::new(cohort_trace::Kernel::Water, 2)
+            .with_total_requests(2_000)
+            .generate();
+        let trace = &w.traces()[0];
+        let sat = theta_saturation(trace, &L1, HIT, Cycles::new(54));
+        let at_sat = guaranteed_hits(trace, timed(sat), &L1, HIT, Cycles::new(54)).hits;
+        let beyond = guaranteed_hits(trace, timed(TimerValue::MAX_THETA), &L1, HIT, Cycles::new(54)).hits;
+        assert_eq!(at_sat, beyond);
+        if sat > 1 {
+            let below =
+                guaranteed_hits(trace, timed(sat - 1), &L1, HIT, Cycles::new(54)).hits;
+            assert!(below < at_sat, "θ_sat must be minimal");
+        }
+    }
+
+    #[test]
+    fn total_is_preserved() {
+        let trace = Trace::from_ops(vec![TraceOp::load(0); 7]);
+        let counts = guaranteed_hits(&trace, timed(3), &L1, HIT, PENALTY);
+        assert_eq!(counts.total(), 7);
+    }
+
+    #[test]
+    fn larger_penalty_never_increases_hits() {
+        let w = cohort_trace::KernelSpec::new(cohort_trace::Kernel::Lu, 2)
+            .with_total_requests(3_000)
+            .generate();
+        let trace = &w.traces()[0];
+        let fast = guaranteed_hits(trace, timed(200), &L1, HIT, Cycles::new(54)).hits;
+        let slow = guaranteed_hits(trace, timed(200), &L1, HIT, Cycles::new(500)).hits;
+        assert!(slow <= fast, "a larger miss penalty stretches the timeline");
+    }
+}

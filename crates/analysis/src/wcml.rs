@@ -1,0 +1,92 @@
+//! Whole-task worst-case memory latency (Eq. 2 and Eq. 3).
+
+use cohort_types::Cycles;
+
+/// **Eq. 2** — WCML of a task on a core running time-based coherence:
+///
+/// ```text
+/// WCML = M_hit · L_hit + M_miss · WCL_miss
+/// ```
+///
+/// `hits` and `misses` come from the in-isolation guaranteed-hit analysis
+/// ([`crate::guaranteed_hits`]), which is only valid *because* the timers
+/// preserve it under contention.
+///
+/// # Examples
+///
+/// ```
+/// use cohort_analysis::wcml_timed;
+/// use cohort_types::Cycles;
+///
+/// let wcml = wcml_timed(900, 100, Cycles::new(1), Cycles::new(216));
+/// assert_eq!(wcml.get(), 900 + 100 * 216);
+/// ```
+///
+/// # Panics
+///
+/// Panics on arithmetic overflow (requires task sizes far beyond any
+/// realistic trace).
+#[must_use]
+pub fn wcml_timed(hits: u64, misses: u64, hit_latency: Cycles, wcl_miss: Cycles) -> Cycles {
+    let hit_part = hit_latency.checked_mul(hits).expect("hit product overflows u64");
+    let miss_part = wcl_miss.checked_mul(misses).expect("miss product overflows u64");
+    hit_part.checked_add(miss_part).expect("WCML overflows u64")
+}
+
+/// **Eq. 3** — WCML of a task on a core running standard MSI snooping:
+/// without timers the in-isolation hit analysis is not preserved under
+/// contention, so *every* access must be assumed a miss:
+///
+/// ```text
+/// WCML = Λ · WCL_miss
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use cohort_analysis::wcml_snoop;
+/// use cohort_types::Cycles;
+///
+/// assert_eq!(wcml_snoop(1_000, Cycles::new(216)).get(), 216_000);
+/// ```
+///
+/// # Panics
+///
+/// Panics on arithmetic overflow.
+#[must_use]
+pub fn wcml_snoop(accesses: u64, wcl_miss: Cycles) -> Cycles {
+    wcl_miss.checked_mul(accesses).expect("WCML overflows u64")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq2_degenerates_to_eq3_with_zero_hits() {
+        let wcl = Cycles::new(300);
+        assert_eq!(wcml_timed(0, 500, Cycles::new(1), wcl), wcml_snoop(500, wcl));
+    }
+
+    #[test]
+    fn hits_tighten_the_bound() {
+        let wcl = Cycles::new(300);
+        let all_miss = wcml_timed(0, 1000, Cycles::new(1), wcl);
+        let mostly_hit = wcml_timed(900, 100, Cycles::new(1), wcl);
+        assert!(mostly_hit < all_miss);
+        // 900·1 + 100·300 vs 1000·300: 33 900 vs 300 000 ≈ 8.8× tighter.
+        assert!(all_miss.get() / mostly_hit.get() >= 8);
+    }
+
+    #[test]
+    fn empty_task_has_zero_wcml() {
+        assert_eq!(wcml_timed(0, 0, Cycles::new(1), Cycles::new(216)), Cycles::ZERO);
+        assert_eq!(wcml_snoop(0, Cycles::new(216)), Cycles::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn overflow_is_loud() {
+        let _ = wcml_snoop(u64::MAX, Cycles::new(2));
+    }
+}

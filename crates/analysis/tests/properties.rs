@@ -1,0 +1,115 @@
+//! Property-based tests of the static analyses.
+
+use proptest::prelude::*;
+
+use cohort_analysis::{guaranteed_hits, theta_saturation, wcl_miss, wcml_snoop, wcml_timed};
+use cohort_sim::CacheGeometry;
+use cohort_trace::{AccessKind, Trace, TraceOp};
+use cohort_types::{Cycles, LatencyConfig, LineAddr, TimerValue};
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    let op = (0u64..600, any::<bool>(), 0u64..30).prop_map(|(line, store, gap)| {
+        TraceOp::new(
+            LineAddr::new(line),
+            if store { AccessKind::Store } else { AccessKind::Load },
+            Cycles::new(gap),
+        )
+    });
+    proptest::collection::vec(op, 0..150).prop_map(Trace::from_ops)
+}
+
+fn timers_strategy() -> impl Strategy<Value = Vec<TimerValue>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(TimerValue::MSI),
+            (0u64..=400).prop_map(|t| TimerValue::timed(t).unwrap()),
+        ],
+        2..8,
+    )
+}
+
+proptest! {
+    /// Guaranteed hits are monotone non-decreasing in θ — the assumption
+    /// the θ_sat binary search and the GA's search-space shape rely on.
+    #[test]
+    fn hits_monotone_in_theta(trace in trace_strategy(), penalty in 1u64..600) {
+        let l1 = CacheGeometry::paper_l1();
+        let mut previous = 0;
+        for theta in [1u64, 2, 4, 8, 16, 32, 64, 128, 512, 2048, 65_535] {
+            let counts = guaranteed_hits(
+                &trace,
+                TimerValue::timed(theta).unwrap(),
+                &l1,
+                Cycles::new(1),
+                Cycles::new(penalty),
+            );
+            prop_assert!(counts.hits >= previous, "θ={theta}: {} < {previous}", counts.hits);
+            prop_assert_eq!(counts.total(), trace.len() as u64);
+            previous = counts.hits;
+        }
+    }
+
+    /// A larger miss penalty never increases guaranteed hits (the timeline
+    /// stretches, windows expire sooner relative to accesses).
+    #[test]
+    fn hits_antitone_in_penalty(trace in trace_strategy(), theta in 1u64..500) {
+        let l1 = CacheGeometry::paper_l1();
+        let t = TimerValue::timed(theta).unwrap();
+        let mut previous = u64::MAX;
+        for penalty in [54u64, 108, 216, 432, 1000] {
+            let hits =
+                guaranteed_hits(&trace, t, &l1, Cycles::new(1), Cycles::new(penalty)).hits;
+            prop_assert!(hits <= previous);
+            previous = hits;
+        }
+    }
+
+    /// θ_sat is a true minimal fixed point: hits(θ_sat) equals the
+    /// saturated count and hits(θ_sat − 1) is strictly below it (when
+    /// θ_sat > 1).
+    #[test]
+    fn theta_saturation_is_minimal(trace in trace_strategy()) {
+        let l1 = CacheGeometry::paper_l1();
+        let penalty = Cycles::new(54);
+        let sat = theta_saturation(&trace, &l1, Cycles::new(1), penalty);
+        prop_assert!((1..=TimerValue::MAX_THETA).contains(&sat));
+        let at = |t: u64| {
+            guaranteed_hits(&trace, TimerValue::timed(t).unwrap(), &l1, Cycles::new(1), penalty)
+                .hits
+        };
+        let saturated = at(TimerValue::MAX_THETA);
+        prop_assert_eq!(at(sat), saturated);
+        if sat > 1 {
+            prop_assert!(at(sat - 1) < saturated, "θ_sat {sat} is not minimal");
+        }
+    }
+
+    /// Eq. 1 structure: adding a timed interferer increases every other
+    /// core's bound by exactly θ_j + SW; MSI interferers add nothing to
+    /// the timer term.
+    #[test]
+    fn eq1_is_additive_in_interferer_timers(timers in timers_strategy(), core in 0usize..8) {
+        prop_assume!(core < timers.len());
+        let lat = LatencyConfig::paper();
+        let sw = lat.slot_width().get();
+        let n = timers.len() as u64;
+        let expected: u64 = sw * n
+            + timers
+                .iter()
+                .enumerate()
+                .filter(|&(j, t)| j != core && t.is_timed())
+                .map(|(_, t)| t.theta().unwrap() + sw)
+                .sum::<u64>();
+        prop_assert_eq!(wcl_miss(core, &timers, &lat).get(), expected);
+    }
+
+    /// Eq. 2 with zero hits equals Eq. 3; hits only ever tighten it.
+    #[test]
+    fn eq2_dominated_by_eq3(hits in 0u64..10_000, misses in 0u64..10_000, wcl in 1u64..5_000) {
+        let wcl = Cycles::new(wcl);
+        let timed = wcml_timed(hits, misses, Cycles::new(1), wcl);
+        let snoop = wcml_snoop(hits + misses, wcl);
+        prop_assert!(timed <= snoop);
+        prop_assert_eq!(wcml_timed(0, misses, Cycles::new(1), wcl), wcml_snoop(misses, wcl));
+    }
+}

@@ -1,0 +1,85 @@
+//! Regenerates **Figure 5**: total worst-case memory latency (experimental
+//! and analytical) of CoHoRT vs PCC vs PENDULUM under the three
+//! criticality configurations.
+//!
+//! ```text
+//! cargo run --release -p cohort-bench --bin fig5 [-- --config all-cr] [--quick|--full]
+//! ```
+
+use cohort_bench::{bench_ga, geomean, kernels, sweep_protocols, CliOptions, CritConfig, CORES};
+
+fn main() {
+    let options = CliOptions::parse(std::env::args());
+    let configs: Vec<CritConfig> =
+        options.config.map_or_else(|| CritConfig::ALL.to_vec(), |c| vec![c]);
+    let ga = bench_ga(options.quick);
+    let workloads = kernels(CORES, options.full, options.quick);
+
+    println!("Figure 5 — Total WCML: experimental (exp) and analytical (ana), cycles");
+    println!("Log-scale bars in the paper; raw cycle counts here.\n");
+
+    for config in configs {
+        println!("=== Fig. 5{} — {} ===", config.subfigure(), config.label());
+        println!(
+            "{:<8} {:>4}  {:>12} {:>12}  {:>12} {:>12}  {:>12} {:>12}",
+            "kernel", "core", "CoHoRT exp", "CoHoRT ana", "PCC exp", "PCC ana", "PEND exp",
+            "PEND ana"
+        );
+        let mask = config.critical_mask();
+        let mut pcc_ratios = Vec::new();
+        let mut pend_ratios = Vec::new();
+        for workload in &workloads {
+            let runs = sweep_protocols(config, workload, &ga).expect("sweep succeeds");
+            let (cohort, pcc, pendulum) = (&runs[0].outcome, &runs[1].outcome, &runs[2].outcome);
+            for outcome in [cohort, pcc, pendulum] {
+                outcome.check_soundness().expect("bounds dominate measurements");
+            }
+            for core in 0..CORES {
+                let fmt = |o: &cohort::ExperimentOutcome| {
+                    let exp = o.stats.cores[core].total_latency.get();
+                    let ana = o
+                        .bounds
+                        .as_ref()
+                        .and_then(|b| b[core].wcml)
+                        .map_or_else(|| "unbounded".to_string(), |w| w.get().to_string());
+                    (exp, ana)
+                };
+                let (ce, ca) = fmt(cohort);
+                let (pe, pa) = fmt(pcc);
+                let (ne, na) = fmt(pendulum);
+                println!(
+                    "{:<8} {:>4}  {:>12} {:>12}  {:>12} {:>12}  {:>12} {:>12}",
+                    workload.name(),
+                    format!("c{core}"),
+                    ce,
+                    ca,
+                    pe,
+                    pa,
+                    ne,
+                    na
+                );
+                // Ratio summaries over the critical cores (the cores the
+                // paper's bound comparison is about).
+                if mask[core] {
+                    let cohort_ana =
+                        cohort.bounds.as_ref().unwrap()[core].wcml.unwrap().get() as f64;
+                    let pcc_ana = pcc.bounds.as_ref().unwrap()[core].wcml.unwrap().get() as f64;
+                    pcc_ratios.push(pcc_ana / cohort_ana);
+                    if let Some(pend_ana) = pendulum.bounds.as_ref().unwrap()[core].wcml {
+                        pend_ratios.push(pend_ana.get() as f64 / cohort_ana);
+                    }
+                }
+            }
+            println!();
+        }
+        println!("--- Summary over Cr cores (geomean of analytical WCML ratios) ---");
+        println!("PCC / CoHoRT      = {:.2}x   (paper, All Cr: 2.15x)", geomean(&pcc_ratios));
+        if !pend_ratios.is_empty() {
+            println!(
+                "PENDULUM / CoHoRT = {:.2}x   (paper: ~16x / ~6x / ~18x per config)",
+                geomean(&pend_ratios)
+            );
+        }
+        println!();
+    }
+}

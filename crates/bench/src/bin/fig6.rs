@@ -1,0 +1,56 @@
+//! Regenerates **Figure 6**: overall system execution time of CoHoRT, PCC
+//! and PENDULUM, normalized against standard MSI with a COTS FCFS arbiter.
+//!
+//! ```text
+//! cargo run --release -p cohort-bench --bin fig6 [-- --config all-cr] [--quick|--full]
+//! ```
+
+use cohort_bench::{bench_ga, geomean, kernels, sweep_protocols, CliOptions, CritConfig, CORES};
+
+fn main() {
+    let options = CliOptions::parse(std::env::args());
+    let configs: Vec<CritConfig> =
+        options.config.map_or_else(|| CritConfig::ALL.to_vec(), |c| vec![c]);
+    let ga = bench_ga(options.quick);
+    let workloads = kernels(CORES, options.full, options.quick);
+
+    println!("Figure 6 — Execution time normalized against MSI + FCFS (lower is better)");
+    println!("Paper averages (All Cr): CoHoRT 1.03x, PCC 1.13x, PENDULUM 1.50x\n");
+
+    for config in configs {
+        println!("=== Fig. 6{} — {} ===", config.subfigure(), config.label());
+        println!(
+            "{:<8} {:>12} {:>10} {:>10} {:>10}",
+            "kernel", "MSI+FCFS", "CoHoRT", "PCC", "PENDULUM"
+        );
+        let mut cohort_slow = Vec::new();
+        let mut pcc_slow = Vec::new();
+        let mut pend_slow = Vec::new();
+        for workload in &workloads {
+            let runs = sweep_protocols(config, workload, &ga).expect("sweep succeeds");
+            let baseline = runs[3].outcome.execution_time() as f64;
+            let norm = |i: usize| runs[i].outcome.execution_time() as f64 / baseline;
+            let (c, p, n) = (norm(0), norm(1), norm(2));
+            println!(
+                "{:<8} {:>12} {:>9.3}x {:>9.3}x {:>9.3}x",
+                workload.name(),
+                runs[3].outcome.execution_time(),
+                c,
+                p,
+                n
+            );
+            cohort_slow.push(c);
+            pcc_slow.push(p);
+            pend_slow.push(n);
+        }
+        println!(
+            "{:<8} {:>12} {:>9.3}x {:>9.3}x {:>9.3}x   (geomean)",
+            "average",
+            "-",
+            geomean(&cohort_slow),
+            geomean(&pcc_slow),
+            geomean(&pend_slow)
+        );
+        println!();
+    }
+}

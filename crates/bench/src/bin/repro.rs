@@ -1,0 +1,112 @@
+//! Runs the complete evaluation — every table and figure — and writes both
+//! the human-readable outputs (`results/*.txt` equivalents go to stdout)
+//! and a machine-readable JSON summary (`results/summary.json`) recording
+//! the headline numbers EXPERIMENTS.md quotes.
+//!
+//! ```text
+//! cargo run --release -p cohort-bench --bin repro [-- --quick|--full]
+//! ```
+
+use std::fs;
+
+use cohort::{configure_modes, ModeController};
+use cohort_bench::{
+    bench_ga, fig7_stage_requirements, geomean, kernels, mode_switch_spec, sweep_protocols,
+    CliOptions, CritConfig, CORES,
+};
+use cohort_trace::{Kernel, KernelSpec};
+use cohort_types::{CoreId, Cycles, Mode};
+use serde_json::json;
+
+fn main() {
+    let options = CliOptions::parse(std::env::args());
+    let ga = bench_ga(options.quick);
+    let workloads = kernels(CORES, options.full, options.quick);
+    let mut summary = serde_json::Map::new();
+
+    // ---- Figures 5 & 6 -------------------------------------------------
+    for config in CritConfig::ALL {
+        println!("running {} …", config.label());
+        let mut pcc_ratios = Vec::new();
+        let mut pend_ratios = Vec::new();
+        let mut cohort_slow = Vec::new();
+        let mut pcc_slow = Vec::new();
+        let mut pend_slow = Vec::new();
+        for workload in &workloads {
+            let runs = sweep_protocols(config, workload, &ga).expect("sweep succeeds");
+            for run in &runs {
+                run.outcome.check_soundness().expect("soundness");
+            }
+            let (cohort, pcc, pendulum, fcfs) = (&runs[0], &runs[1], &runs[2], &runs[3]);
+            let mask = config.critical_mask();
+            for (core, _) in mask.iter().enumerate().filter(|(_, &critical)| critical) {
+                let c = cohort.outcome.bounds.as_ref().unwrap()[core].wcml.unwrap().get() as f64;
+                let p = pcc.outcome.bounds.as_ref().unwrap()[core].wcml.unwrap().get() as f64;
+                pcc_ratios.push(p / c);
+                if let Some(n) = pendulum.outcome.bounds.as_ref().unwrap()[core].wcml {
+                    pend_ratios.push(n.get() as f64 / c);
+                }
+            }
+            let base = fcfs.outcome.execution_time() as f64;
+            cohort_slow.push(cohort.outcome.execution_time() as f64 / base);
+            pcc_slow.push(pcc.outcome.execution_time() as f64 / base);
+            pend_slow.push(pendulum.outcome.execution_time() as f64 / base);
+        }
+        summary.insert(
+            config.slug().to_string(),
+            json!({
+                "fig5_pcc_over_cohort": geomean(&pcc_ratios),
+                "fig5_pendulum_over_cohort": geomean(&pend_ratios),
+                "fig6_cohort_slowdown": geomean(&cohort_slow),
+                "fig6_pcc_slowdown": geomean(&pcc_slow),
+                "fig6_pendulum_slowdown": geomean(&pend_slow),
+            }),
+        );
+    }
+
+    // ---- Figure 7 / Table II -------------------------------------------
+    println!("running mode-switch experiment …");
+    let spec = mode_switch_spec();
+    let mut fft = KernelSpec::new(Kernel::Fft, 4);
+    if options.quick {
+        fft = fft.with_total_requests(Kernel::Fft.default_total_requests() / 10);
+    }
+    let workload = fft.generate();
+    let modes = configure_modes(&spec, &workload, &ga).expect("offline flow");
+    let c0 = CoreId::new(0);
+    let bound = |m: u32| {
+        modes.wcml_bound(c0, Mode::new(m).expect("static")).unwrap().unwrap().get()
+    };
+    let bounds: Vec<u64> = (1..=4).map(bound).collect();
+    let mut controller = ModeController::new(modes.clone());
+    let stages = fig7_stage_requirements(&bounds);
+    let walk: Vec<Option<u32>> = stages
+        .iter()
+        .map(|&g| {
+            controller
+                .requirement_changed(c0, Cycles::new(g))
+                .expect("c0 exists")
+                .mode()
+                .map(Mode::index)
+        })
+        .collect();
+    summary.insert(
+        "fig7".to_string(),
+        json!({
+            "c0_bounds_per_mode": bounds,
+            "stage_requirements": stages,
+            "mode_walk": walk,
+            "table2_lut": modes
+                .entries
+                .iter()
+                .map(|e| e.timers.iter().map(|t| t.encode()).collect::<Vec<i32>>())
+                .collect::<Vec<_>>(),
+        }),
+    );
+
+    fs::create_dir_all("results").expect("results dir");
+    let doc = serde_json::Value::Object(summary);
+    fs::write("results/summary.json", serde_json::to_string_pretty(&doc).expect("serialize"))
+        .expect("write summary");
+    println!("\nwrote results/summary.json:\n{}", serde_json::to_string_pretty(&doc).expect("ok"));
+}

@@ -1,0 +1,11 @@
+//! Regenerates **Table I**: predictable-coherence works vs the four MCS
+//! challenges (heterogeneity, criticality, requirements, mode switching).
+//!
+//! ```text
+//! cargo run --release -p cohort-bench --bin table1
+//! ```
+
+fn main() {
+    println!("Table I — Predictable Coherence Works and MCS challenges\n");
+    print!("{}", cohort::related::render_table_one());
+}

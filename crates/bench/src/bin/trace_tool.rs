@@ -1,0 +1,117 @@
+//! Workload utility: generate the synthetic kernels to files, convert
+//! between the JSON and binary codecs, and inspect trace statistics — the
+//! operational side of the SPLASH-2 substitution (traces can be exported,
+//! shared, and re-imported instead of regenerated).
+//!
+//! ```text
+//! trace-tool gen <kernel> <cores> <out.{json|bin}> [total] [seed]
+//! trace-tool convert <in.{json|bin}> <out.{json|bin}>
+//! trace-tool stats <in.{json|bin}>
+//! ```
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use cohort_trace::{codec, Kernel, KernelSpec, Workload};
+
+fn load(path: &str) -> Result<Workload, String> {
+    let ext = Path::new(path).extension().and_then(|e| e.to_str()).unwrap_or("");
+    match ext {
+        "json" => {
+            let text = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            codec::from_json(&text).map_err(|e| e.to_string())
+        }
+        "bin" => {
+            let bytes = fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+            codec::from_binary(&bytes).map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown trace extension `{other}` (use .json or .bin)")),
+    }
+}
+
+fn save(workload: &Workload, path: &str) -> Result<(), String> {
+    let ext = Path::new(path).extension().and_then(|e| e.to_str()).unwrap_or("");
+    match ext {
+        "json" => {
+            let text = codec::to_json(workload).map_err(|e| e.to_string())?;
+            fs::write(path, text).map_err(|e| format!("write {path}: {e}"))
+        }
+        "bin" => {
+            let bytes = codec::to_binary(workload).map_err(|e| e.to_string())?;
+            fs::write(path, bytes).map_err(|e| format!("write {path}: {e}"))
+        }
+        other => Err(format!("unknown trace extension `{other}` (use .json or .bin)")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            let [_, kernel, cores, out, rest @ ..] = args.as_slice() else {
+                return Err("usage: trace-tool gen <kernel> <cores> <out> [total] [seed]".into());
+            };
+            let kernel: Kernel = kernel.parse().map_err(|e| format!("{e}"))?;
+            let cores: usize = cores.parse().map_err(|e| format!("bad core count: {e}"))?;
+            if cores == 0 {
+                return Err("core count must be positive".into());
+            }
+            let mut spec = KernelSpec::new(kernel, cores);
+            if let Some(total) = rest.first() {
+                spec = spec
+                    .with_total_requests(total.parse().map_err(|e| format!("bad total: {e}"))?);
+            }
+            if let Some(seed) = rest.get(1) {
+                spec = spec.with_seed(seed.parse().map_err(|e| format!("bad seed: {e}"))?);
+            }
+            let workload = spec.generate();
+            save(&workload, out)?;
+            println!("wrote {} ({} accesses, {} cores)", out, workload.total_accesses(), cores);
+            Ok(())
+        }
+        Some("convert") => {
+            let [_, input, output] = args.as_slice() else {
+                return Err("usage: trace-tool convert <in> <out>".into());
+            };
+            let workload = load(input)?;
+            save(&workload, output)?;
+            println!("converted {input} → {output}");
+            Ok(())
+        }
+        Some("stats") => {
+            let [_, input] = args.as_slice() else {
+                return Err("usage: trace-tool stats <in>".into());
+            };
+            let workload = load(input)?;
+            println!("workload `{}` — {} cores", workload.name(), workload.cores());
+            println!(
+                "{:>5} {:>10} {:>8} {:>8} {:>13} {:>14}",
+                "core", "accesses", "loads", "stores", "unique lines", "compute cycles"
+            );
+            for (i, trace) in workload.traces().iter().enumerate() {
+                let s = trace.stats();
+                println!(
+                    "{i:>5} {:>10} {:>8} {:>8} {:>13} {:>14}",
+                    s.accesses(),
+                    s.loads,
+                    s.stores,
+                    s.unique_lines,
+                    s.compute.get()
+                );
+            }
+            Ok(())
+        }
+        _ => Err("usage: trace-tool gen|convert|stats …".into()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Simulation + analysis drivers used by examples, tests and the
+//! figure-regeneration benches.
+
+use cohort_analysis::CoreBound;
+use cohort_sim::{SimStats, Simulator};
+use cohort_trace::Workload;
+use cohort_types::Result;
+
+use crate::{Protocol, SystemSpec};
+
+/// The paired outcome of simulating a protocol and analysing it.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Protocol name (figure label).
+    pub protocol: String,
+    /// Workload name (figure x-axis).
+    pub workload: String,
+    /// Measured statistics (the solid bars).
+    pub stats: SimStats,
+    /// Analytical bounds (the T-bars); `None` for unanalysable baselines.
+    pub bounds: Option<Vec<CoreBound>>,
+}
+
+impl ExperimentOutcome {
+    /// Measured execution time (Figure 6's numerator).
+    #[must_use]
+    pub fn execution_time(&self) -> u64 {
+        self.stats.execution_time().get()
+    }
+
+    /// Checks the soundness obligation: every measured per-core WCML and
+    /// per-request latency at or under its analytical bound.
+    ///
+    /// Returns the first violation as `Err(description)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated bound.
+    pub fn check_soundness(&self) -> core::result::Result<(), String> {
+        let Some(bounds) = &self.bounds else { return Ok(()) };
+        for (i, (core, bound)) in self.stats.cores.iter().zip(bounds).enumerate() {
+            if let Some(wcl) = bound.wcl {
+                if core.worst_request > wcl {
+                    return Err(format!(
+                        "{} on {}: core {i} request {} exceeds WCL {}",
+                        self.protocol, self.workload, core.worst_request, wcl
+                    ));
+                }
+            }
+            if let Some(wcml) = bound.wcml {
+                if core.total_latency > wcml {
+                    return Err(format!(
+                        "{} on {}: core {i} measured WCML {} exceeds bound {}",
+                        self.protocol, self.workload, core.total_latency, wcml
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs one protocol on one workload: simulate, then analyse.
+///
+/// # Errors
+///
+/// Propagates configuration errors and simulator failures.
+///
+/// # Examples
+///
+/// See the crate-level example.
+pub fn run_experiment(
+    spec: &SystemSpec,
+    protocol: &Protocol,
+    workload: &Workload,
+) -> Result<ExperimentOutcome> {
+    let config = protocol.sim_config(spec)?;
+    let mut sim = Simulator::new(config, workload)?;
+    let stats = sim.run()?;
+    let bounds = protocol.analyze(spec, workload)?;
+    Ok(ExperimentOutcome {
+        protocol: protocol.name().to_string(),
+        workload: workload.name().to_string(),
+        stats,
+        bounds,
+    })
+}
+
+/// Runs a batch of experiments in parallel (one thread per job, scoped) —
+/// the figure benches sweep kernels × protocols and the runs are
+/// independent and CPU-bound.
+///
+/// # Errors
+///
+/// Returns the first error among the jobs; results keep the input order.
+pub fn run_experiments_parallel(
+    jobs: &[(&SystemSpec, &Protocol, &Workload)],
+) -> Result<Vec<ExperimentOutcome>> {
+    let mut results: Vec<Option<Result<ExperimentOutcome>>> = Vec::new();
+    results.resize_with(jobs.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (slot, (spec, protocol, workload)) in results.iter_mut().zip(jobs) {
+            scope.spawn(move |_| {
+                *slot = Some(run_experiment(spec, protocol, workload));
+            });
+        }
+    })
+    .expect("experiment threads do not panic");
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot is filled by its thread"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohort_trace::micro;
+    use cohort_types::{Criticality, TimerValue};
+
+    fn spec(n: usize) -> SystemSpec {
+        let mut b = SystemSpec::builder();
+        for _ in 0..n {
+            b = b.core(Criticality::new(1).unwrap());
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cohort_outcome_is_sound() {
+        let s = spec(2);
+        let w = micro::line_bursts(2, 4, 30);
+        let timers = vec![TimerValue::timed(50).unwrap(), TimerValue::MSI];
+        let outcome = run_experiment(&s, &Protocol::Cohort { timers }, &w).unwrap();
+        outcome.check_soundness().unwrap();
+        assert_eq!(outcome.protocol, "CoHoRT");
+        assert!(outcome.execution_time() > 0);
+    }
+
+    #[test]
+    fn all_protocols_run_the_same_workload() {
+        let s = spec(2);
+        let w = micro::random_shared(2, 16, 120, 0.4, 3);
+        let protocols = [
+            Protocol::Cohort { timers: vec![TimerValue::timed(25).unwrap(); 2] },
+            Protocol::Msi,
+            Protocol::MsiFcfs,
+            Protocol::Pcc,
+            Protocol::Pendulum { critical: vec![true, false], theta: 25 },
+        ];
+        for p in &protocols {
+            let outcome = run_experiment(&s, p, &w).unwrap();
+            outcome.check_soundness().unwrap_or_else(|e| panic!("{e}"));
+            for (core, trace) in outcome.stats.cores.iter().zip(w.traces()) {
+                assert_eq!(core.accesses(), trace.len() as u64, "{}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let s = spec(2);
+        let w = micro::ping_pong(2, 10);
+        let p1 = Protocol::Msi;
+        let p2 = Protocol::Pcc;
+        let jobs = vec![(&s, &p1, &w), (&s, &p2, &w)];
+        let parallel = run_experiments_parallel(&jobs).unwrap();
+        assert_eq!(parallel.len(), 2);
+        let seq0 = run_experiment(&s, &p1, &w).unwrap();
+        assert_eq!(parallel[0].stats, seq0.stats);
+        assert_eq!(parallel[1].protocol, "PCC");
+    }
+}

@@ -1,0 +1,187 @@
+//! Protocol presets: CoHoRT and the paper's baselines as simulator
+//! configurations plus their analytical models.
+
+use cohort_analysis::{analyze_cohort, analyze_pcc, analyze_pendulum, CoreBound, PendulumParams};
+use cohort_sim::{ArbiterKind, DataPath, SimConfig};
+use cohort_trace::Workload;
+use cohort_types::{Error, Result, TimerValue};
+
+use crate::SystemSpec;
+
+/// The coherence solutions compared in the paper's evaluation (§VIII).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Protocol {
+    /// CoHoRT: per-core timers (θ = −1 ⇒ MSI), RROF arbitration, direct
+    /// cache-to-cache hand-overs. Analysed with Eq. 1 + Eq. 2/3.
+    Cohort {
+        /// The per-core timer registers Θ.
+        timers: Vec<TimerValue>,
+    },
+    /// Plain MSI snooping under RROF — equivalent to CoHoRT with all
+    /// θ = −1 (analysed all-miss at the Eq. 1 bound).
+    Msi,
+    /// MSI snooping with a COTS first-come-first-served arbiter: the
+    /// normalization baseline of Figure 6. Not analysable (no bound).
+    MsiFcfs,
+    /// PCC-style predictable coherence: MSI under RROF with every
+    /// hand-over staged through the shared memory.
+    Pcc,
+    /// PENDULUM: uniform time-based coherence (every core, critical or
+    /// not, holds lines for the same global θ), TDM slots for critical
+    /// cores, non-critical cores ride idle slots only.
+    Pendulum {
+        /// Which cores are critical.
+        critical: Vec<bool>,
+        /// The uniform timer of critical cores (PENDULUM is not
+        /// requirement-aware).
+        theta: u64,
+    },
+}
+
+impl Protocol {
+    /// Short name used on figure axes and in reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::Cohort { .. } => "CoHoRT",
+            Protocol::Msi => "MSI",
+            Protocol::MsiFcfs => "MSI+FCFS",
+            Protocol::Pcc => "PCC",
+            Protocol::Pendulum { .. } => "PENDULUM",
+        }
+    }
+
+    /// Builds the simulator configuration realising this protocol on the
+    /// given platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if a per-core vector length does
+    /// not match the platform.
+    pub fn sim_config(&self, spec: &SystemSpec) -> Result<SimConfig> {
+        let n = spec.cores();
+        let base = SimConfig::builder(n).latency(*spec.latency()).l1(*spec.l1()).llc(*spec.llc());
+        let config = match self {
+            Protocol::Cohort { timers } => {
+                if timers.len() != n {
+                    return Err(Error::InvalidConfig(format!(
+                        "CoHoRT expects {n} timers, got {}",
+                        timers.len()
+                    )));
+                }
+                base.timers(timers.clone()).arbiter(ArbiterKind::Rrof)
+            }
+            Protocol::Msi => base.arbiter(ArbiterKind::Rrof),
+            Protocol::MsiFcfs => base.arbiter(ArbiterKind::Fcfs),
+            Protocol::Pcc => base.arbiter(ArbiterKind::Rrof).data_path(DataPath::ViaSharedMemory),
+            Protocol::Pendulum { critical, theta } => {
+                if critical.len() != n {
+                    return Err(Error::InvalidConfig(format!(
+                        "PENDULUM mask expects {n} cores, got {}",
+                        critical.len()
+                    )));
+                }
+                // PENDULUM's protocol is uniform: criticality only affects
+                // arbitration, so non-critical holders also keep lines θ.
+                let timers = vec![TimerValue::timed(*theta)?; n];
+                base.timers(timers)
+                    .arbiter(ArbiterKind::Tdm { critical: critical.clone() })
+                    .waiter_priority(critical.clone())
+            }
+        };
+        config.build()
+    }
+
+    /// Computes the per-core analytical WCML bounds, or `None` for
+    /// protocols without an analysis (the COTS FCFS baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] on spec/workload mismatches.
+    pub fn analyze(
+        &self,
+        spec: &SystemSpec,
+        workload: &Workload,
+    ) -> Result<Option<Vec<CoreBound>>> {
+        let lat = spec.latency();
+        match self {
+            Protocol::Cohort { timers } => {
+                Ok(Some(analyze_cohort(workload, timers, lat, spec.l1(), spec.llc())?))
+            }
+            Protocol::Msi => {
+                let timers = vec![TimerValue::MSI; spec.cores()];
+                Ok(Some(analyze_cohort(workload, &timers, lat, spec.l1(), spec.llc())?))
+            }
+            Protocol::MsiFcfs => Ok(None),
+            Protocol::Pcc => Ok(Some(analyze_pcc(workload, lat))),
+            Protocol::Pendulum { critical, theta } => {
+                let params = PendulumParams { critical: critical.clone(), theta: *theta };
+                Ok(Some(analyze_pendulum(workload, &params, lat)?))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohort_trace::micro;
+    use cohort_types::Criticality;
+
+    fn spec(n: usize) -> SystemSpec {
+        let mut b = SystemSpec::builder();
+        for _ in 0..n {
+            b = b.core(Criticality::new(1).unwrap());
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Protocol::Msi.name(), "MSI");
+        assert_eq!(Protocol::Pcc.name(), "PCC");
+        assert_eq!(Protocol::Cohort { timers: vec![] }.name(), "CoHoRT");
+    }
+
+    #[test]
+    fn cohort_config_carries_timers() {
+        let s = spec(2);
+        let timers = vec![TimerValue::timed(30).unwrap(), TimerValue::MSI];
+        let config =
+            Protocol::Cohort { timers: timers.clone() }.sim_config(&s).unwrap();
+        assert_eq!(config.timers(), timers.as_slice());
+        assert_eq!(config.arbiter(), &ArbiterKind::Rrof);
+    }
+
+    #[test]
+    fn pendulum_config_uses_tdm_and_priority_queues() {
+        let s = spec(3);
+        let p = Protocol::Pendulum { critical: vec![true, false, true], theta: 99 };
+        let config = p.sim_config(&s).unwrap();
+        assert!(matches!(config.arbiter(), ArbiterKind::Tdm { .. }));
+        assert!(config.waiter_priority().is_some());
+        assert_eq!(config.timers()[0].theta(), Some(99));
+        assert_eq!(config.timers()[1].theta(), Some(99), "the protocol is uniform");
+    }
+
+    #[test]
+    fn pcc_config_stages_transfers() {
+        let config = Protocol::Pcc.sim_config(&spec(2)).unwrap();
+        assert_eq!(config.data_path(), DataPath::ViaSharedMemory);
+    }
+
+    #[test]
+    fn length_mismatches_rejected() {
+        let s = spec(3);
+        assert!(Protocol::Cohort { timers: vec![TimerValue::MSI] }.sim_config(&s).is_err());
+        assert!(Protocol::Pendulum { critical: vec![true], theta: 1 }.sim_config(&s).is_err());
+    }
+
+    #[test]
+    fn fcfs_has_no_analysis() {
+        let s = spec(2);
+        let w = micro::ping_pong(2, 2);
+        assert!(Protocol::MsiFcfs.analyze(&s, &w).unwrap().is_none());
+        assert!(Protocol::Msi.analyze(&s, &w).unwrap().is_some());
+    }
+}

@@ -1,0 +1,392 @@
+//! A small, deterministic genetic algorithm over bounded integer
+//! chromosomes.
+//!
+//! The engine is generic: the CoHoRT timer problem is one instance, the
+//! ablation benches reuse it with other fitness functions. Determinism is a
+//! hard requirement (the paper's Table II must regenerate identically), so
+//! all randomness flows from a caller-provided seed through ChaCha.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Inclusive per-gene bounds of the search space.
+///
+/// # Examples
+///
+/// ```
+/// use cohort_optim::SearchSpace;
+///
+/// let space = SearchSpace::new(vec![(1, 10), (5, 5)]);
+/// assert_eq!(space.genes(), 2);
+/// assert!(space.contains(&[3, 5]));
+/// assert!(!space.contains(&[0, 5]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchSpace {
+    bounds: Vec<(u64, u64)>,
+    log_scale: bool,
+}
+
+impl SearchSpace {
+    /// Creates a search space from inclusive `(low, high)` bounds with
+    /// uniform (linear) sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound has `low > high` or the space is empty.
+    #[must_use]
+    pub fn new(bounds: Vec<(u64, u64)>) -> Self {
+        Self::with_scale(bounds, false)
+    }
+
+    /// Creates a search space sampled **log-uniformly**: appropriate when
+    /// genes span orders of magnitude and the interesting region sits near
+    /// the low end — exactly the shape of the timer problem, where θ_sat
+    /// can be tens of thousands but feasible timers are tens of cycles.
+    /// Requires strictly positive lower bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound has `low > high` or `low == 0`, or the space is
+    /// empty.
+    #[must_use]
+    pub fn logarithmic(bounds: Vec<(u64, u64)>) -> Self {
+        assert!(bounds.iter().all(|&(lo, _)| lo > 0), "log scale needs positive lower bounds");
+        Self::with_scale(bounds, true)
+    }
+
+    fn with_scale(bounds: Vec<(u64, u64)>, log_scale: bool) -> Self {
+        assert!(!bounds.is_empty(), "search space needs at least one gene");
+        for &(lo, hi) in &bounds {
+            assert!(lo <= hi, "inverted bound {lo}..={hi}");
+        }
+        SearchSpace { bounds, log_scale }
+    }
+
+    /// Number of genes per chromosome.
+    #[must_use]
+    pub fn genes(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// The inclusive bounds of one gene.
+    #[must_use]
+    pub fn bound(&self, gene: usize) -> (u64, u64) {
+        self.bounds[gene]
+    }
+
+    /// Whether a chromosome lies inside the space.
+    #[must_use]
+    pub fn contains(&self, genes: &[u64]) -> bool {
+        genes.len() == self.bounds.len()
+            && genes.iter().zip(&self.bounds).all(|(&g, &(lo, hi))| g >= lo && g <= hi)
+    }
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> Vec<u64> {
+        self.bounds
+            .iter()
+            .map(|&(lo, hi)| {
+                if self.log_scale && hi > lo {
+                    let (ll, lh) = ((lo as f64).ln(), (hi as f64).ln());
+                    let v = rng.gen_range(ll..=lh).exp().round() as u64;
+                    v.clamp(lo, hi)
+                } else {
+                    rng.gen_range(lo..=hi)
+                }
+            })
+            .collect()
+    }
+
+    fn clamp(&self, gene: usize, value: u64) -> u64 {
+        let (lo, hi) = self.bounds[gene];
+        value.clamp(lo, hi)
+    }
+}
+
+/// Hyper-parameters of the GA. The defaults mirror a stock "default
+/// parameters" GA as used by the paper's Matlab setup: generational
+/// replacement with elitism, tournament selection, uniform crossover,
+/// reset-or-jitter mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Probability of crossing two parents (vs cloning one).
+    pub crossover_rate: f64,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Individuals copied unchanged into the next generation.
+    pub elitism: usize,
+    /// RNG seed (the whole run is a pure function of it).
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 48,
+            generations: 60,
+            tournament: 3,
+            crossover_rate: 0.9,
+            mutation_rate: 0.15,
+            elitism: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a GA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaOutcome {
+    /// The best chromosome found.
+    pub best: Vec<u64>,
+    /// Its fitness (lower is better).
+    pub best_fitness: f64,
+    /// Best fitness after each generation (convergence curve).
+    pub history: Vec<f64>,
+    /// Total fitness evaluations performed.
+    pub evaluations: u64,
+}
+
+/// A deterministic, minimising genetic algorithm.
+///
+/// # Examples
+///
+/// Minimise the distance to a hidden target vector:
+///
+/// ```
+/// use cohort_optim::{GaConfig, GeneticAlgorithm, SearchSpace};
+///
+/// let space = SearchSpace::new(vec![(0, 100); 4]);
+/// let target = [7u64, 42, 99, 0];
+/// let ga = GeneticAlgorithm::new(space, GaConfig::default());
+/// let outcome = ga.run(|genes| {
+///     genes.iter().zip(&target).map(|(&g, &t)| (g as f64 - t as f64).abs()).sum()
+/// });
+/// assert!(outcome.best_fitness <= 10.0, "close to the target");
+/// assert_eq!(outcome.history.len(), GaConfig::default().generations);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeneticAlgorithm {
+    space: SearchSpace,
+    config: GaConfig,
+}
+
+impl GeneticAlgorithm {
+    /// Creates an engine over `space` with the given hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population or tournament size is zero, or elitism
+    /// exceeds the population.
+    #[must_use]
+    pub fn new(space: SearchSpace, config: GaConfig) -> Self {
+        assert!(config.population > 0, "population must be positive");
+        assert!(config.tournament > 0, "tournament must be positive");
+        assert!(config.elitism <= config.population, "elitism exceeds population");
+        GeneticAlgorithm { space, config }
+    }
+
+    /// Runs the GA, minimising `fitness`. Optionally seeds the initial
+    /// population with known-good chromosomes via [`Self::run_seeded`].
+    pub fn run(&self, fitness: impl Fn(&[u64]) -> f64) -> GaOutcome {
+        self.run_seeded(&[], fitness)
+    }
+
+    /// Runs the GA with `seeds` injected into the initial population (the
+    /// mode-switch flow seeds each mode with the previous mode's solution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a seed chromosome lies outside the search space.
+    pub fn run_seeded(&self, seeds: &[Vec<u64>], fitness: impl Fn(&[u64]) -> f64) -> GaOutcome {
+        for seed in seeds {
+            assert!(self.space.contains(seed), "seed chromosome out of bounds");
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut evaluations = 0u64;
+        let eval = |genes: &[u64], evals: &mut u64| -> f64 {
+            *evals += 1;
+            fitness(genes)
+        };
+
+        // Initial population: injected seeds then random samples.
+        let mut population: Vec<(Vec<u64>, f64)> = Vec::with_capacity(self.config.population);
+        for seed in seeds.iter().take(self.config.population) {
+            let f = eval(seed, &mut evaluations);
+            population.push((seed.clone(), f));
+        }
+        while population.len() < self.config.population {
+            let genes = self.space.sample(&mut rng);
+            let f = eval(&genes, &mut evaluations);
+            population.push((genes, f));
+        }
+
+        let mut history = Vec::with_capacity(self.config.generations);
+        population.sort_by(|a, b| a.1.total_cmp(&b.1));
+        for _ in 0..self.config.generations {
+            let mut next: Vec<(Vec<u64>, f64)> =
+                population.iter().take(self.config.elitism).cloned().collect();
+            while next.len() < self.config.population {
+                let a = self.tournament(&population, &mut rng);
+                let child = if rng.gen_bool(self.config.crossover_rate) {
+                    let b = self.tournament(&population, &mut rng);
+                    self.crossover(&population[a].0, &population[b].0, &mut rng)
+                } else {
+                    population[a].0.clone()
+                };
+                let child = self.mutate(child, &mut rng);
+                let f = eval(&child, &mut evaluations);
+                next.push((child, f));
+            }
+            population = next;
+            population.sort_by(|a, b| a.1.total_cmp(&b.1));
+            // History entry g is the best *after* generation g has bred
+            // (monotone thanks to elitism).
+            history.push(population[0].1);
+        }
+        GaOutcome {
+            best: population[0].0.clone(),
+            best_fitness: population[0].1,
+            history,
+            evaluations,
+        }
+    }
+
+    fn tournament(&self, population: &[(Vec<u64>, f64)], rng: &mut ChaCha8Rng) -> usize {
+        let mut best = rng.gen_range(0..population.len());
+        for _ in 1..self.config.tournament {
+            let challenger = rng.gen_range(0..population.len());
+            if population[challenger].1 < population[best].1 {
+                best = challenger;
+            }
+        }
+        best
+    }
+
+    fn crossover(&self, a: &[u64], b: &[u64], rng: &mut ChaCha8Rng) -> Vec<u64> {
+        a.iter()
+            .zip(b)
+            .map(|(&ga, &gb)| if rng.gen_bool(0.5) { ga } else { gb })
+            .collect()
+    }
+
+    fn mutate(&self, mut genes: Vec<u64>, rng: &mut ChaCha8Rng) -> Vec<u64> {
+        for (i, gene) in genes.iter_mut().enumerate() {
+            if !rng.gen_bool(self.config.mutation_rate) {
+                continue;
+            }
+            let (lo, hi) = self.space.bound(i);
+            if rng.gen_bool(0.5) {
+                // Reset: explore (log-uniformly for log-scale spaces).
+                let fresh = SearchSpace::with_scale(vec![(lo, hi)], self.space.log_scale)
+                    .sample(rng)[0];
+                *gene = fresh;
+            } else if self.space.log_scale {
+                // Multiplicative jitter: scale by a factor in [0.5, 2].
+                let factor = rng.gen_range(0.5f64..=2.0);
+                let jittered = ((*gene as f64) * factor).round() as u64;
+                *gene = self.space.clamp(i, jittered.max(1));
+            } else {
+                // Jitter: exploit (±25% of the range, at least ±1).
+                let span = ((hi - lo) / 4).max(1);
+                let delta = rng.gen_range(0..=span);
+                *gene = if rng.gen_bool(0.5) {
+                    self.space.clamp(i, gene.saturating_add(delta))
+                } else {
+                    self.space.clamp(i, gene.saturating_sub(delta))
+                };
+            }
+        }
+        genes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(genes: &[u64]) -> f64 {
+        genes.iter().map(|&g| (g as f64 - 50.0).powi(2)).sum()
+    }
+
+    #[test]
+    fn converges_on_a_smooth_objective() {
+        let space = SearchSpace::new(vec![(0, 1000); 3]);
+        let ga = GeneticAlgorithm::new(space, GaConfig::default());
+        let outcome = ga.run(sphere);
+        assert!(outcome.best_fitness < 500.0, "best {:?}", outcome.best);
+        // Convergence curve is monotone non-increasing (elitism).
+        for w in outcome.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let space = SearchSpace::new(vec![(0, 100); 4]);
+        let ga = GeneticAlgorithm::new(space.clone(), GaConfig::default());
+        let a = ga.run(sphere);
+        let b = GeneticAlgorithm::new(space, GaConfig::default()).run(sphere);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let space = SearchSpace::new(vec![(0, 100_000); 6]);
+        let a = GeneticAlgorithm::new(space.clone(), GaConfig::default()).run(sphere);
+        let b = GeneticAlgorithm::new(space, GaConfig { seed: 1, ..Default::default() })
+            .run(sphere);
+        assert_ne!(a.best, b.best);
+    }
+
+    #[test]
+    fn seeded_population_preserves_a_feasible_start() {
+        // Fitness that is 0 only at the seed: elitism must keep it.
+        let space = SearchSpace::new(vec![(0, 1_000_000); 4]);
+        let seed = vec![123_456u64, 7, 999_999, 0];
+        let target = seed.clone();
+        let ga = GeneticAlgorithm::new(space, GaConfig { generations: 5, ..Default::default() });
+        let outcome = ga.run_seeded(&[seed], move |genes| {
+            genes.iter().zip(&target).map(|(&g, &t)| (g as f64 - t as f64).abs()).sum()
+        });
+        assert_eq!(outcome.best_fitness, 0.0);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let space = SearchSpace::new(vec![(10, 20), (5, 5)]);
+        let ga = GeneticAlgorithm::new(space.clone(), GaConfig::default());
+        let outcome = ga.run(|g| g[0] as f64);
+        assert!(space.contains(&outcome.best));
+        assert_eq!(outcome.best[1], 5, "degenerate gene pinned");
+        assert_eq!(outcome.best[0], 10, "minimum found");
+    }
+
+    #[test]
+    fn evaluation_count_is_reported() {
+        let config = GaConfig { population: 10, generations: 3, ..Default::default() };
+        let space = SearchSpace::new(vec![(0, 9)]);
+        let outcome = GeneticAlgorithm::new(space, config).run(|g| g[0] as f64);
+        // 10 initial + 3 generations × 8 children (2 elites kept).
+        assert_eq!(outcome.evaluations, 10 + 3 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_space_seeds() {
+        let space = SearchSpace::new(vec![(0, 5)]);
+        let ga = GeneticAlgorithm::new(space, GaConfig::default());
+        let _ = ga.run_seeded(&[vec![6]], |_| 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted bound")]
+    fn rejects_inverted_bounds() {
+        let _ = SearchSpace::new(vec![(5, 1)]);
+    }
+}

@@ -1,0 +1,443 @@
+//! The CoHoRT timer-configuration problem (§V) on top of the GA engine.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use cohort_analysis::{guaranteed_hits, theta_saturation, wcl_miss, wcml_snoop, wcml_timed};
+use cohort_sim::{CacheGeometry, LlcModel};
+use cohort_trace::Workload;
+use cohort_types::{Cycles, Error, LatencyConfig, Result, TimerValue};
+
+use crate::{GaConfig, GaOutcome, GeneticAlgorithm, SearchSpace};
+
+/// Fixed penalty added once per violated constraint: larger than any
+/// attainable objective value (the objective sums per-core *mean* latencies,
+/// each bounded by a per-request WCL ≤ ~10⁶ cycles), so any infeasible
+/// candidate scores worse than every feasible one regardless of how small
+/// the relative violation is.
+const PENALTY_BASE: f64 = 1.0e12;
+/// Additional weight per unit of relative violation, giving the GA a
+/// gradient from "badly infeasible" toward "barely infeasible".
+const PENALTY: f64 = 1.0e9;
+
+/// Memo key: (core, θ, WCL); value: (guaranteed hits, misses).
+type HitMemo = HashMap<(usize, u64, u64), (u64, u64)>;
+
+/// One optimization problem instance: which cores are timed, their
+/// requirements, and the workload whose cache behaviour drives M_hit.
+///
+/// Build with [`TimerProblem::builder`]; solve with [`optimize_timers`].
+#[derive(Debug)]
+pub struct TimerProblem<'w> {
+    workload: &'w Workload,
+    latency: LatencyConfig,
+    l1: CacheGeometry,
+    llc: LlcModel,
+    /// `Some(requirement)` for timed cores (requirement optional), `None`
+    /// for cores pinned to MSI.
+    roles: Vec<CoreRole>,
+    /// Indices of the timed cores, in core order (the GA's genes).
+    timed: Vec<usize>,
+    /// Per timed core: the saturation timer bounding the search.
+    theta_sat: Vec<u64>,
+    /// Memoized cache-analysis results keyed by (core, θ, WCL).
+    memo: Mutex<HitMemo>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoreRole {
+    Timed { requirement: Option<Cycles> },
+    Msi,
+}
+
+/// Builder for [`TimerProblem`]. Cores default to MSI; mark the timed ones
+/// with [`TimerProblemBuilder::timed`].
+#[derive(Debug)]
+pub struct TimerProblemBuilder<'w> {
+    workload: &'w Workload,
+    latency: LatencyConfig,
+    l1: CacheGeometry,
+    llc: LlcModel,
+    roles: Vec<CoreRole>,
+}
+
+impl<'w> TimerProblemBuilder<'w> {
+    /// Marks a core as running time-based coherence, optionally with a
+    /// WCML requirement Γ (constraint C1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range for the workload.
+    #[must_use]
+    pub fn timed(mut self, core: usize, requirement: Option<Cycles>) -> Self {
+        assert!(core < self.roles.len(), "core {core} out of range");
+        self.roles[core] = CoreRole::Timed { requirement };
+        self
+    }
+
+    /// Overrides the latency configuration (defaults to the paper's).
+    #[must_use]
+    pub fn latency(mut self, latency: LatencyConfig) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Overrides the private-cache geometry (defaults to the paper's).
+    #[must_use]
+    pub fn l1(mut self, l1: CacheGeometry) -> Self {
+        self.l1 = l1;
+        self
+    }
+
+    /// Declares the LLC model the system will run with (defaults to the
+    /// paper's perfect LLC). With a finite LLC, back-invalidation voids the
+    /// guaranteed-hit analysis, so the optimizer scores every core with the
+    /// all-miss Eq. 3 bound instead.
+    #[must_use]
+    pub fn llc(mut self, llc: LlcModel) -> Self {
+        self.llc = llc;
+        self
+    }
+
+    /// Finalises the problem, computing each timed core's θ_sat (the upper
+    /// bound of its search box, found by sweeping in isolation — the
+    /// paper's procedure). Note the deliberate approximation: the sweep
+    /// uses the uncontended miss penalty, while the fitness evaluates hit
+    /// curves under the contended per-request WCL, whose stretched timeline
+    /// can keep rewarding timers slightly above this box. Matching the
+    /// paper keeps the search box small; the corner seeds in
+    /// [`crate::solve`] cover the box edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if no core is timed — with every
+    /// core on MSI there is nothing to optimize.
+    pub fn build(self) -> Result<TimerProblem<'w>> {
+        let timed: Vec<usize> = self
+            .roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, CoreRole::Timed { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if timed.is_empty() {
+            return Err(Error::InvalidConfig(
+                "at least one core must be timed for the optimization to have variables".into(),
+            ));
+        }
+        let theta_sat = timed
+            .iter()
+            .map(|&i| {
+                theta_saturation(
+                    &self.workload.traces()[i],
+                    &self.l1,
+                    self.latency.hit,
+                    self.latency.slot_width(),
+                )
+            })
+            .collect();
+        Ok(TimerProblem {
+            workload: self.workload,
+            latency: self.latency,
+            l1: self.l1,
+            llc: self.llc,
+            roles: self.roles,
+            timed,
+            theta_sat,
+            memo: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
+impl<'w> TimerProblem<'w> {
+    /// Starts building a problem over `workload` with the paper's default
+    /// latencies and cache geometry; all cores start as MSI.
+    #[must_use]
+    pub fn builder(workload: &'w Workload) -> TimerProblemBuilder<'w> {
+        TimerProblemBuilder {
+            workload,
+            latency: LatencyConfig::paper(),
+            l1: CacheGeometry::paper_l1(),
+            llc: LlcModel::Perfect,
+            roles: vec![CoreRole::Msi; workload.cores()],
+        }
+    }
+
+    /// The GA search space: one gene per timed core, `1..=θ_sat`, sampled
+    /// log-uniformly — θ_sat can be tens of thousands of cycles while the
+    /// feasible (small-WCL) region sits at tens of cycles.
+    #[must_use]
+    pub fn search_space(&self) -> SearchSpace {
+        SearchSpace::logarithmic(self.theta_sat.iter().map(|&s| (1, s)).collect())
+    }
+
+    /// The timed cores' indices, in gene order.
+    #[must_use]
+    pub fn timed_cores(&self) -> &[usize] {
+        &self.timed
+    }
+
+    /// The per-gene saturation timers θ_sat.
+    #[must_use]
+    pub fn theta_saturations(&self) -> &[u64] {
+        &self.theta_sat
+    }
+
+    /// Expands a chromosome into the full per-core timer vector.
+    #[must_use]
+    pub fn timers_from_genes(&self, genes: &[u64]) -> Vec<TimerValue> {
+        let mut timers = vec![TimerValue::MSI; self.workload.cores()];
+        for (&core, &theta) in self.timed.iter().zip(genes) {
+            timers[core] = TimerValue::timed(theta).expect("θ_sat is within register range");
+        }
+        timers
+    }
+
+    /// Guaranteed hit/miss counts for one core, memoized on (core, θ, WCL).
+    /// Under a finite LLC no hits are guaranteed (back-invalidation).
+    fn counts(&self, core: usize, timer: TimerValue, wcl: Cycles) -> (u64, u64) {
+        if !self.llc.is_perfect() {
+            return (0, self.workload.traces()[core].len() as u64);
+        }
+        let theta = timer.theta().expect("only timed cores are counted");
+        let key = (core, theta, wcl.get());
+        if let Some(&cached) = self.memo.lock().get(&key) {
+            return cached;
+        }
+        let counts = guaranteed_hits(
+            &self.workload.traces()[core],
+            timer,
+            &self.l1,
+            self.latency.hit,
+            wcl,
+        );
+        let result = (counts.hits, counts.misses);
+        self.memo.lock().insert(key, result);
+        result
+    }
+
+    /// The §V fitness: mean per-access worst-case latency summed over all
+    /// cores, plus a large penalty per unit of relative C1 violation.
+    /// Lower is better.
+    #[must_use]
+    pub fn fitness(&self, genes: &[u64]) -> f64 {
+        let timers = self.timers_from_genes(genes);
+        let mut objective = 0.0;
+        let mut penalty = 0.0;
+        for (core, role) in self.roles.iter().enumerate() {
+            let wcl = wcl_miss(core, &timers, &self.latency);
+            let accesses = self.workload.traces()[core].len() as u64;
+            if accesses == 0 {
+                continue;
+            }
+            let wcml = match role {
+                CoreRole::Timed { requirement } => {
+                    let (hits, misses) = self.counts(core, timers[core], wcl);
+                    let wcml = wcml_timed(hits, misses, self.latency.hit, wcl);
+                    if let Some(gamma) = requirement {
+                        if wcml > *gamma {
+                            penalty += PENALTY_BASE
+                                + PENALTY
+                                    * ((wcml.get() - gamma.get()) as f64
+                                        / gamma.get().max(1) as f64);
+                        }
+                    }
+                    wcml
+                }
+                CoreRole::Msi => wcml_snoop(accesses, wcl),
+            };
+            objective += wcml.get() as f64 / accesses as f64;
+        }
+        objective + penalty
+    }
+
+    /// Evaluates a full assignment into per-core bounds and feasibility.
+    #[must_use]
+    pub fn evaluate(&self, genes: &[u64]) -> TimerAssignment {
+        let timers = self.timers_from_genes(genes);
+        let mut bounds = Vec::with_capacity(self.roles.len());
+        let mut feasible = true;
+        for (core, role) in self.roles.iter().enumerate() {
+            let wcl = wcl_miss(core, &timers, &self.latency);
+            let accesses = self.workload.traces()[core].len() as u64;
+            let (hits, misses, wcml) = match role {
+                CoreRole::Timed { requirement } => {
+                    let (hits, misses) = self.counts(core, timers[core], wcl);
+                    let wcml = wcml_timed(hits, misses, self.latency.hit, wcl);
+                    if requirement.is_some_and(|g| wcml > g) {
+                        feasible = false;
+                    }
+                    (hits, misses, wcml)
+                }
+                CoreRole::Msi => (0, accesses, wcml_snoop(accesses, wcl)),
+            };
+            bounds.push(cohort_analysis::CoreBound {
+                hits,
+                misses,
+                wcl: Some(wcl),
+                wcml: Some(wcml),
+            });
+        }
+        TimerAssignment { timers, bounds, feasible, fitness: self.fitness(genes) }
+    }
+}
+
+/// The solved configuration: timers, per-core bounds, feasibility.
+#[derive(Debug, Clone)]
+pub struct TimerAssignment {
+    /// Per-core timer registers (MSI cores keep θ = −1).
+    pub timers: Vec<TimerValue>,
+    /// Per-core analytical bounds under these timers.
+    pub bounds: Vec<cohort_analysis::CoreBound>,
+    /// Whether every C1 constraint is met.
+    pub feasible: bool,
+    /// The fitness value of the solution (objective + penalties).
+    pub fitness: f64,
+}
+
+/// Runs the GA over a [`TimerProblem`] (the flow of the paper's Fig. 2a).
+///
+/// # Errors
+///
+/// Returns [`Error::Infeasible`] if the best solution found still violates
+/// a C1 constraint — the caller (e.g. the mode controller) treats this as
+/// "this mode is unschedulable".
+///
+/// # Examples
+///
+/// See the crate-level example.
+pub fn optimize_timers(problem: &TimerProblem<'_>, config: &GaConfig) -> Result<TimerAssignment> {
+    let outcome = solve(problem, config);
+    let assignment = problem.evaluate(&outcome.best);
+    if !assignment.feasible {
+        return Err(Error::Infeasible(format!(
+            "best assignment {:?} still violates a WCML requirement",
+            assignment.timers
+        )));
+    }
+    Ok(assignment)
+}
+
+/// Like [`optimize_timers`] but returns the raw GA outcome (used by the
+/// convergence benches and by callers that want the best-effort infeasible
+/// solution).
+#[must_use]
+pub fn solve(problem: &TimerProblem<'_>, config: &GaConfig) -> GaOutcome {
+    let ga = GeneticAlgorithm::new(problem.search_space(), config.clone());
+    // Seed with the extreme corners — all-minimal (tightest WCL) and
+    // all-saturated (most hits) — plus a small uniform heuristic (a window
+    // of a few dozen cycles covers word-granular line bursts, the dominant
+    // source of guaranteed hits).
+    let minimal = vec![1u64; problem.timed_cores().len()];
+    let saturated = problem.theta_saturations().to_vec();
+    let heuristic: Vec<u64> =
+        problem.theta_saturations().iter().map(|&s| s.min(24)).collect();
+    ga.run_seeded(&[minimal, saturated, heuristic], |genes| problem.fitness(genes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohort_trace::micro;
+
+    fn bursts() -> Workload {
+        micro::line_bursts(2, 4, 60)
+    }
+
+    #[test]
+    fn optimizer_finds_feasible_timers() {
+        let w = bursts();
+        let problem = TimerProblem::builder(&w)
+            .timed(0, Some(Cycles::new(60_000)))
+            .timed(1, Some(Cycles::new(60_000)))
+            .build()
+            .unwrap();
+        let config = GaConfig { population: 24, generations: 20, ..Default::default() };
+        let assignment = optimize_timers(&problem, &config).unwrap();
+        assert!(assignment.feasible);
+        for core in 0..2 {
+            assert!(assignment.bounds[core].wcml.unwrap() <= Cycles::new(60_000));
+            assert!(assignment.bounds[core].hits > 0, "bursts yield guaranteed hits");
+        }
+    }
+
+    #[test]
+    fn impossible_requirement_is_reported_infeasible() {
+        let w = bursts();
+        let problem = TimerProblem::builder(&w)
+            .timed(0, Some(Cycles::new(10)))
+            .timed(1, None)
+            .build()
+            .unwrap();
+        let config = GaConfig { population: 16, generations: 8, ..Default::default() };
+        let err = optimize_timers(&problem, &config).unwrap_err();
+        assert!(matches!(err, Error::Infeasible(_)));
+    }
+
+    #[test]
+    fn all_msi_problem_is_rejected() {
+        let w = bursts();
+        assert!(TimerProblem::builder(&w).build().is_err());
+    }
+
+    #[test]
+    fn genes_map_only_to_timed_cores() {
+        let w = micro::line_bursts(3, 3, 20);
+        let problem =
+            TimerProblem::builder(&w).timed(1, None).build().unwrap();
+        assert_eq!(problem.timed_cores(), &[1]);
+        let timers = problem.timers_from_genes(&[42]);
+        assert!(timers[0].is_msi());
+        assert_eq!(timers[1].theta(), Some(42));
+        assert!(timers[2].is_msi());
+    }
+
+    #[test]
+    fn penalty_dominates_objective() {
+        // A violating assignment must always score worse than a feasible
+        // one, no matter how good its objective is.
+        let w = bursts();
+        let problem = TimerProblem::builder(&w)
+            .timed(0, Some(Cycles::new(40_000)))
+            .timed(1, None)
+            .build()
+            .unwrap();
+        let feasible = problem.fitness(&[2, 2]);
+        let sat = problem.theta_saturations().to_vec();
+        // Saturated timers inflate c0's WCL via c1's θ... check both ways:
+        // if the saturated point is feasible this assertion is vacuous, so
+        // construct an explicit violation via evaluate().
+        let sat_eval = problem.evaluate(&sat);
+        if !sat_eval.feasible {
+            assert!(problem.fitness(&sat) > feasible + 1.0e6);
+        }
+    }
+
+    #[test]
+    fn optimization_is_deterministic() {
+        let w = bursts();
+        let problem = TimerProblem::builder(&w)
+            .timed(0, None)
+            .timed(1, None)
+            .build()
+            .unwrap();
+        let config = GaConfig { population: 12, generations: 6, ..Default::default() };
+        let a = solve(&problem, &config);
+        let b = solve(&problem, &config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn search_space_uses_saturation_bounds() {
+        let w = bursts();
+        let problem = TimerProblem::builder(&w).timed(0, None).timed(1, None).build().unwrap();
+        let space = problem.search_space();
+        for g in 0..space.genes() {
+            let (lo, hi) = space.bound(g);
+            assert_eq!(lo, 1);
+            assert_eq!(hi, problem.theta_saturations()[g]);
+            assert!(hi >= 1);
+        }
+    }
+}

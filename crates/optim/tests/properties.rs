@@ -1,0 +1,94 @@
+//! Property-based tests of the GA engine and the timer problem.
+
+use proptest::prelude::*;
+
+use cohort_optim::{GaConfig, GeneticAlgorithm, SearchSpace, TimerProblem};
+use cohort_trace::micro;
+use cohort_types::Cycles;
+
+fn small_config() -> GaConfig {
+    GaConfig { population: 12, generations: 6, ..Default::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The GA never emits a chromosome outside the search space, and the
+    /// convergence history is monotone non-increasing (elitism).
+    #[test]
+    fn ga_respects_bounds_and_monotonicity(
+        bounds in proptest::collection::vec((1u64..100, 0u64..5_000), 1..5),
+        seed in any::<u64>(),
+    ) {
+        let bounds: Vec<(u64, u64)> = bounds.into_iter().map(|(lo, span)| (lo, lo + span)).collect();
+        let space = SearchSpace::new(bounds.clone());
+        let ga = GeneticAlgorithm::new(space.clone(), GaConfig { seed, ..small_config() });
+        let outcome = ga.run(|genes| genes.iter().map(|&g| g as f64).sum());
+        prop_assert!(space.contains(&outcome.best));
+        for w in outcome.history.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-9);
+        }
+        // The optimum of a monotone objective is the all-low corner; the GA
+        // must at least not do worse than a random guess bound.
+        let low: f64 = bounds.iter().map(|&(lo, _)| lo as f64).sum();
+        let high: f64 = bounds.iter().map(|&(_, hi)| hi as f64).sum();
+        prop_assert!(outcome.best_fitness >= low - 1e-9);
+        prop_assert!(outcome.best_fitness <= high + 1e-9);
+    }
+
+    /// Log-scale spaces also respect bounds for extreme ranges.
+    #[test]
+    fn log_space_respects_bounds(hi in 1u64..60_000, seed in any::<u64>()) {
+        let space = SearchSpace::logarithmic(vec![(1, hi.max(1)); 3]);
+        let ga = GeneticAlgorithm::new(space.clone(), GaConfig { seed, ..small_config() });
+        let outcome = ga.run(|genes| genes.iter().map(|&g| g as f64).sum());
+        prop_assert!(space.contains(&outcome.best));
+    }
+
+    /// Identical (problem, config) pairs give identical outcomes.
+    #[test]
+    fn ga_is_deterministic(seed in any::<u64>()) {
+        let space = SearchSpace::new(vec![(0, 999); 3]);
+        let config = GaConfig { seed, ..small_config() };
+        let f = |genes: &[u64]| genes.iter().map(|&g| (g as f64 - 500.0).abs()).sum();
+        let a = GeneticAlgorithm::new(space.clone(), config.clone()).run(f);
+        let b = GeneticAlgorithm::new(space, config).run(f);
+        prop_assert_eq!(a, b);
+    }
+
+    /// A feasible seed never makes the outcome infeasible: fitness of the
+    /// GA's best is ≤ the seed's fitness (elitism preserves it).
+    #[test]
+    fn seeding_never_hurts(seed_genes in proptest::collection::vec(1u64..40, 2)) {
+        let workload = micro::line_bursts(2, 4, 40);
+        let problem = TimerProblem::builder(&workload)
+            .timed(0, Some(Cycles::new(1_000_000)))
+            .timed(1, None)
+            .build()
+            .unwrap();
+        let clamped: Vec<u64> = seed_genes
+            .iter()
+            .zip(problem.theta_saturations())
+            .map(|(&g, &sat)| g.min(sat))
+            .collect();
+        let seed_fitness = problem.fitness(&clamped);
+        let space = problem.search_space();
+        let ga = GeneticAlgorithm::new(space, small_config());
+        let outcome = ga.run_seeded(&[clamped], |g| problem.fitness(g));
+        prop_assert!(outcome.best_fitness <= seed_fitness + 1e-9);
+    }
+
+    /// The timer-problem fitness is a pure function of the genes.
+    #[test]
+    fn fitness_is_pure(genes in proptest::collection::vec(1u64..64, 2)) {
+        let workload = micro::line_bursts(2, 3, 30);
+        let problem =
+            TimerProblem::builder(&workload).timed(0, None).timed(1, None).build().unwrap();
+        let clamped: Vec<u64> = genes
+            .iter()
+            .zip(problem.theta_saturations())
+            .map(|(&g, &sat)| g.min(sat))
+            .collect();
+        prop_assert_eq!(problem.fitness(&clamped), problem.fitness(&clamped));
+    }
+}

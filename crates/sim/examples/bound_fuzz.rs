@@ -1,0 +1,143 @@
+//! Dev tool: fuzz the analytical bounds (Eq. 1, PCC, PENDULUM) against the
+//! simulator at scale. Prints the worst margin seen; exits non-zero output
+//! on a violation.
+use cohort_sim::{ArbiterKind, CacheGeometry, DataPath, LlcModel, ProtocolFlavor, SimConfig, Simulator};
+use cohort_trace::{AccessKind, Trace, TraceOp, Workload};
+use cohort_types::{Cycles, LineAddr, TimerValue};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn workload(rng: &mut ChaCha8Rng, cores: usize) -> Workload {
+    let traces: Vec<Trace> = (0..cores)
+        .map(|_| {
+            let len = rng.gen_range(1..120);
+            let mut ops = Vec::new();
+            while ops.len() < len {
+                let line = rng.gen_range(0..14u64);
+                let store = rng.gen_bool(0.5);
+                ops.push(TraceOp::new(
+                    LineAddr::new(line),
+                    if store { AccessKind::Store } else { AccessKind::Load },
+                    Cycles::new(rng.gen_range(0..8)),
+                ));
+                // Burst follow-ups.
+                for _ in 0..rng.gen_range(0..4) {
+                    ops.push(TraceOp::new(LineAddr::new(line), AccessKind::Load, Cycles::new(1)));
+                }
+            }
+            Trace::from_ops(ops)
+        })
+        .collect();
+    Workload::new("fuzz", traces).unwrap()
+}
+
+fn main() {
+    // Derived from the same LatencyConfig the simulator runs with, so a
+    // latency retune keeps the fuzzer honest. (The bound *formulas* are
+    // intentionally inlined: cohort-analysis sits above cohort-sim in the
+    // crate DAG; the root integration tests cross-check the library
+    // formulas against the simulator.)
+    let lat = cohort_types::LatencyConfig::paper();
+    let sw = lat.slot_width().get();
+    let mut violations = 0u64;
+    for seed in 0..30000u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cores = [2usize, 3, 4, 6][(seed % 4) as usize];
+        let w = workload(&mut rng, cores);
+        match seed % 3 {
+            0 => {
+                // CoHoRT / Eq. 1
+                let timers: Vec<TimerValue> = (0..cores)
+                    .map(|_| {
+                        if rng.gen_bool(0.4) {
+                            TimerValue::MSI
+                        } else {
+                            TimerValue::timed(rng.gen_range(1..=500)).unwrap()
+                        }
+                    })
+                    .collect();
+                let flavor = if rng.gen_bool(0.5) { ProtocolFlavor::Mesi } else { ProtocolFlavor::Msi };
+                let config = SimConfig::builder(cores)
+                    .timers(timers.clone())
+                    .flavor(flavor)
+                    .build()
+                    .unwrap();
+                let stats = Simulator::new(config, &w).unwrap().run().unwrap();
+                for i in 0..cores {
+                    let theta_terms: u64 = (0..cores)
+                        .filter(|&j| j != i)
+                        .filter_map(|j| timers[j].theta().map(|t| t + sw))
+                        .sum();
+                    let bound = sw * cores as u64 + theta_terms;
+                    if stats.cores[i].worst_request.get() > bound {
+                        violations += 1;
+                        println!(
+                            "EQ1 seed {seed} core {i}: {} > {bound}",
+                            stats.cores[i].worst_request.get()
+                        );
+                    }
+                }
+            }
+            1 => {
+                // PCC
+                let config = SimConfig::builder(cores)
+                    .data_path(DataPath::ViaSharedMemory)
+                    .build()
+                    .unwrap();
+                let stats = Simulator::new(config, &w).unwrap().run().unwrap();
+                let staged = lat.request.get() + 2 * lat.data.get();
+                let bound = 2 * staged + (cores as u64 - 1) * 2 * lat.data.get();
+                for i in 0..cores {
+                    if stats.cores[i].worst_request.get() > bound {
+                        violations += 1;
+                        println!(
+                            "PCC seed {seed} core {i}: {} > {bound}",
+                            stats.cores[i].worst_request.get()
+                        );
+                    }
+                }
+            }
+            _ => {
+                // PENDULUM, sometimes with a finite LLC + DRAM latency
+                // (the TDM slots must stretch to the effective slot width).
+                let n_cr = rng.gen_range(1..=cores);
+                let critical: Vec<bool> = (0..cores).map(|i| i < n_cr).collect();
+                let theta = rng.gen_range(1..=400u64);
+                let timers = vec![TimerValue::timed(theta).unwrap(); cores];
+                let (llc, memory) = if rng.gen_bool(0.3) {
+                    (LlcModel::Finite(CacheGeometry::new(8 * 64, 64, 2).unwrap()), 100)
+                } else {
+                    (LlcModel::Perfect, 0)
+                };
+                let config = SimConfig::builder(cores)
+                    .timers(timers)
+                    .arbiter(ArbiterKind::Tdm { critical: critical.clone() })
+                    .waiter_priority(critical.clone())
+                    .llc(llc)
+                    .latency(cohort_types::LatencyConfig::paper().with_memory(memory))
+                    .build()
+                    .unwrap();
+                let stats = Simulator::new(config, &w).unwrap().run().unwrap();
+                let sw_eff = sw + memory;
+                let period = sw_eff * n_cr as u64;
+                let bound = period
+                    + (n_cr as u64 - 1) * (theta + 2 * period)
+                    + (cores - n_cr) as u64 * (theta + period)
+                    + sw_eff;
+                for i in 0..n_cr {
+                    if stats.cores[i].worst_request.get() > bound {
+                        violations += 1;
+                        println!(
+                            "PEND seed {seed} core {i}: {} > {bound} (n_cr={n_cr} θ={theta})",
+                            stats.cores[i].worst_request.get()
+                        );
+                    }
+                }
+            }
+        }
+        if violations > 10 {
+            break;
+        }
+    }
+    println!("violations: {violations}");
+}

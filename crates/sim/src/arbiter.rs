@@ -1,0 +1,265 @@
+//! Bus arbitration policies: RROF, round-robin, TDM (PENDULUM) and FCFS.
+
+use std::collections::VecDeque;
+
+use cohort_types::Cycles;
+
+use crate::ArbiterKind;
+
+/// What a core wants to do with the bus when granted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateKind {
+    /// Pull ready data for its oldest pending request (the owner has
+    /// released the line and the request is at the head of the line queue).
+    Receive,
+    /// Broadcast its oldest not-yet-broadcast request.
+    Broadcast,
+}
+
+/// A core's bus candidate at an arbitration instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Receive or broadcast.
+    pub kind: CandidateKind,
+    /// Issue time of the underlying request (FCFS ordering key).
+    pub issued: Cycles,
+    /// The line the underlying request targets (so the engine does not
+    /// re-derive it after a grant).
+    pub line: cohort_types::LineAddr,
+}
+
+/// Stateful bus arbiter.
+///
+/// The engine calls [`Arbiter::grant`] whenever the bus is free, passing one
+/// optional [`Candidate`] per core; the arbiter picks the core to serve.
+/// [`Arbiter::on_grant`] and [`Arbiter::on_request_served`] update the
+/// rotation state:
+///
+/// - **RROF** rotates a core to the back only when its oldest request is
+///   *served* (a completed data transfer), so a core that merely broadcasts
+///   keeps its position — the property that tightens Eq. 1;
+/// - **round-robin** rotates on any grant;
+/// - **TDM** grants only at slot boundaries, to the slot-owning critical
+///   core, or to a non-critical core only if *no* critical core wants the
+///   bus (PENDULUM's unfair rule);
+/// - **FCFS** picks the oldest request system-wide (COTS baseline).
+#[derive(Debug, Clone)]
+pub struct Arbiter {
+    policy: Policy,
+    slot_width: Cycles,
+}
+
+#[derive(Debug, Clone)]
+enum Policy {
+    Rrof { order: VecDeque<usize> },
+    RoundRobin { order: VecDeque<usize> },
+    Tdm { critical: Vec<usize>, noncritical: VecDeque<usize>, mask: Vec<bool> },
+    Fcfs,
+}
+
+impl Arbiter {
+    /// Creates an arbiter for `cores` cores with the given slot width
+    /// (`SW`, used only by TDM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a TDM mask length mismatches `cores` or names no critical
+    /// core — [`crate::SimConfig`] validation rejects these before an
+    /// arbiter is ever constructed.
+    #[must_use]
+    pub fn new(kind: &ArbiterKind, cores: usize, slot_width: Cycles) -> Self {
+        let policy = match kind {
+            ArbiterKind::Rrof => Policy::Rrof { order: (0..cores).collect() },
+            ArbiterKind::RoundRobin => Policy::RoundRobin { order: (0..cores).collect() },
+            ArbiterKind::Tdm { critical } => {
+                assert_eq!(critical.len(), cores, "TDM mask must cover all cores");
+                let crit: Vec<usize> =
+                    critical.iter().enumerate().filter(|(_, &c)| c).map(|(i, _)| i).collect();
+                assert!(!crit.is_empty(), "TDM needs a critical core");
+                let noncrit =
+                    critical.iter().enumerate().filter(|(_, &c)| !c).map(|(i, _)| i).collect();
+                Policy::Tdm { critical: crit, noncritical: noncrit, mask: critical.clone() }
+            }
+            ArbiterKind::Fcfs => Policy::Fcfs,
+        };
+        Arbiter { policy, slot_width }
+    }
+
+    /// Picks the core to grant the bus to at cycle `now`, or `None` if no
+    /// candidate is grantable at this instant.
+    #[must_use]
+    pub fn grant(&self, now: Cycles, candidates: &[Option<Candidate>]) -> Option<usize> {
+        match &self.policy {
+            Policy::Rrof { order } | Policy::RoundRobin { order } => {
+                order.iter().copied().find(|&c| candidates[c].is_some())
+            }
+            Policy::Tdm { critical, noncritical, mask } => {
+                if !now.get().is_multiple_of(self.slot_width.get()) {
+                    return None; // transactions start on slot boundaries
+                }
+                let slot = (now.get() / self.slot_width.get()) as usize % critical.len();
+                let owner = critical[slot];
+                if candidates[owner].is_some() {
+                    return Some(owner);
+                }
+                // PENDULUM rule: non-critical cores ride a slot only when no
+                // critical core has a pending candidate.
+                if critical.iter().any(|&c| candidates[c].is_some()) {
+                    return None; // idle slot
+                }
+                let _ = mask;
+                noncritical.iter().copied().find(|&c| candidates[c].is_some())
+            }
+            Policy::Fcfs => candidates
+                .iter()
+                .enumerate()
+                .filter_map(|(core, c)| c.map(|c| (core, c.issued)))
+                .min_by_key(|&(core, issued)| (issued, core))
+                .map(|(core, _)| core),
+        }
+    }
+
+    /// The earliest instant strictly relevant for a new grant attempt after
+    /// `now` if nothing else changes (TDM slot alignment); event-driven
+    /// policies can grant at any cycle, so they return `now`.
+    #[must_use]
+    pub fn next_grant_opportunity(&self, now: Cycles) -> Cycles {
+        match &self.policy {
+            Policy::Tdm { .. } => {
+                let sw = self.slot_width.get();
+                Cycles::new((now.get() / sw + 1) * sw)
+            }
+            _ => now,
+        }
+    }
+
+    /// Notifies the arbiter that `core` was granted the bus (any action).
+    pub fn on_grant(&mut self, core: usize) {
+        if let Policy::RoundRobin { order } = &mut self.policy {
+            rotate_to_back(order, core);
+        }
+    }
+
+    /// Notifies the arbiter that `core`'s oldest request completed (data
+    /// received) — the RROF rotation point.
+    pub fn on_request_served(&mut self, core: usize) {
+        if let Policy::Rrof { order } = &mut self.policy {
+            rotate_to_back(order, core);
+        }
+    }
+
+    /// Current rotation order (for the event log and tests); `None` for
+    /// policies without one.
+    #[must_use]
+    pub fn order(&self) -> Option<Vec<usize>> {
+        match &self.policy {
+            Policy::Rrof { order } | Policy::RoundRobin { order } => {
+                Some(order.iter().copied().collect())
+            }
+            _ => None,
+        }
+    }
+}
+
+fn rotate_to_back(order: &mut VecDeque<usize>, core: usize) {
+    if let Some(pos) = order.iter().position(|&c| c == core) {
+        order.remove(pos);
+        order.push_back(core);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(issued: u64, kind: CandidateKind) -> Option<Candidate> {
+        Some(Candidate { kind, issued: Cycles::new(issued), line: cohort_types::LineAddr::new(0) })
+    }
+
+    const SW: Cycles = Cycles::new(54);
+
+    #[test]
+    fn rrof_keeps_position_until_served() {
+        let mut arb = Arbiter::new(&ArbiterKind::Rrof, 3, SW);
+        let c = [cand(0, CandidateKind::Broadcast), cand(0, CandidateKind::Broadcast), None];
+        assert_eq!(arb.grant(Cycles::ZERO, &c), Some(0));
+        // Core 0 broadcast (not served): keeps its position.
+        assert_eq!(arb.grant(Cycles::new(4), &c), Some(0));
+        // Once served, it rotates to the back.
+        arb.on_request_served(0);
+        assert_eq!(arb.grant(Cycles::new(8), &c), Some(1));
+        assert_eq!(arb.order().unwrap(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn rrof_skips_cores_without_candidates() {
+        let arb = Arbiter::new(&ArbiterKind::Rrof, 3, SW);
+        let c = [None, None, cand(0, CandidateKind::Receive)];
+        assert_eq!(arb.grant(Cycles::ZERO, &c), Some(2));
+    }
+
+    #[test]
+    fn round_robin_rotates_on_any_grant() {
+        let mut arb = Arbiter::new(&ArbiterKind::RoundRobin, 2, SW);
+        let c = [cand(0, CandidateKind::Broadcast), cand(0, CandidateKind::Broadcast)];
+        assert_eq!(arb.grant(Cycles::ZERO, &c), Some(0));
+        arb.on_grant(0);
+        assert_eq!(arb.grant(Cycles::new(4), &c), Some(1));
+        arb.on_grant(1);
+        assert_eq!(arb.grant(Cycles::new(8), &c), Some(0));
+    }
+
+    #[test]
+    fn tdm_grants_only_on_slot_boundaries() {
+        let kind = ArbiterKind::Tdm { critical: vec![true, true, false, false] };
+        let arb = Arbiter::new(&kind, 4, SW);
+        let c = [cand(0, CandidateKind::Receive), None, None, None];
+        assert_eq!(arb.grant(Cycles::ZERO, &c), Some(0));
+        assert_eq!(arb.grant(Cycles::new(1), &c), None, "mid-slot grant refused");
+        // Slot 1 belongs to core 1, which has nothing; core 0 (critical)
+        // wants the bus, so the slot idles — strict TDM.
+        assert_eq!(arb.grant(SW, &c), None);
+        // Core 0's own slot comes around again.
+        assert_eq!(arb.grant(Cycles::new(108), &c), Some(0));
+    }
+
+    #[test]
+    fn tdm_noncritical_rides_only_fully_idle_slots() {
+        let kind = ArbiterKind::Tdm { critical: vec![true, false] };
+        let arb = Arbiter::new(&kind, 2, SW);
+        // Critical core idle, non-critical wants the bus: granted.
+        let only_ncr = [None, cand(0, CandidateKind::Broadcast)];
+        assert_eq!(arb.grant(Cycles::ZERO, &only_ncr), Some(1));
+        // Critical core busy-wanting: the non-critical core is starved even
+        // in slots the critical owner leaves idle elsewhere.
+        let both = [cand(5, CandidateKind::Broadcast), cand(0, CandidateKind::Broadcast)];
+        assert_eq!(arb.grant(Cycles::ZERO, &both), Some(0));
+    }
+
+    #[test]
+    fn tdm_next_opportunity_is_next_boundary() {
+        let kind = ArbiterKind::Tdm { critical: vec![true] };
+        let arb = Arbiter::new(&kind, 1, SW);
+        assert_eq!(arb.next_grant_opportunity(Cycles::ZERO).get(), 54);
+        assert_eq!(arb.next_grant_opportunity(Cycles::new(53)).get(), 54);
+        assert_eq!(arb.next_grant_opportunity(Cycles::new(54)).get(), 108);
+    }
+
+    #[test]
+    fn fcfs_picks_globally_oldest() {
+        let arb = Arbiter::new(&ArbiterKind::Fcfs, 3, SW);
+        let c = [
+            cand(9, CandidateKind::Broadcast),
+            cand(3, CandidateKind::Broadcast),
+            cand(3, CandidateKind::Receive),
+        ];
+        // Tie on issue time broken by core index.
+        assert_eq!(arb.grant(Cycles::ZERO, &c), Some(1));
+    }
+
+    #[test]
+    fn event_driven_policies_need_no_alignment() {
+        let arb = Arbiter::new(&ArbiterKind::Rrof, 2, SW);
+        assert_eq!(arb.next_grant_opportunity(Cycles::new(17)).get(), 17);
+    }
+}

@@ -1,0 +1,314 @@
+//! Bus-visible coherence bookkeeping: owners, sharers and waiter queues.
+//!
+//! On a snooping bus every cache observes every broadcast, so the global
+//! coherence state — who owns each line, who shares it, and which requests
+//! are queued behind it — is common knowledge. This module models that
+//! common knowledge as a map from line address to [`LineCoh`]. It is pure
+//! bookkeeping: all timing (release instants, transfer durations) lives in
+//! the engine.
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use cohort_types::{Cycles, LineAddr};
+
+/// Who supplies the data for the next transfer of a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Owner {
+    /// The shared memory (LLC, possibly backed by DRAM) owns the line.
+    Llc,
+    /// A core's private cache owns the line in Modified state.
+    Core(usize),
+}
+
+impl Owner {
+    /// Returns the owning core's index, if a core owns the line.
+    #[must_use]
+    pub const fn core(self) -> Option<usize> {
+        match self {
+            Owner::Core(c) => Some(c),
+            Owner::Llc => None,
+        }
+    }
+}
+
+/// The coherence request a waiter issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReqKind {
+    /// Read request (load miss).
+    GetS,
+    /// Write/ownership request (store miss or upgrade from Shared).
+    GetM,
+}
+
+impl ReqKind {
+    /// Returns `true` for ownership (write) requests.
+    #[must_use]
+    pub const fn is_get_m(self) -> bool {
+        matches!(self, ReqKind::GetM)
+    }
+}
+
+/// One queued requester of a line, in broadcast order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Waiter {
+    /// The requesting core.
+    pub core: usize,
+    /// GetS or GetM.
+    pub kind: ReqKind,
+    /// Cycle the broadcast completed (when every snooper saw it).
+    pub enqueued: Cycles,
+}
+
+/// Bus-visible coherence state of one line.
+#[derive(Debug, Clone, Default)]
+pub struct LineCoh {
+    owner_core: Option<usize>,
+    sharers: u64,
+    waiters: VecDeque<Waiter>,
+}
+
+impl LineCoh {
+    /// The current data owner.
+    #[must_use]
+    pub fn owner(&self) -> Owner {
+        match self.owner_core {
+            Some(c) => Owner::Core(c),
+            None => Owner::Llc,
+        }
+    }
+
+    /// Sets the owner.
+    pub fn set_owner(&mut self, owner: Owner) {
+        self.owner_core = owner.core();
+    }
+
+    /// Returns `true` if `core` holds a Shared copy.
+    #[must_use]
+    pub fn is_sharer(&self, core: usize) -> bool {
+        self.sharers & (1 << core) != 0
+    }
+
+    /// Adds a Shared holder.
+    pub fn add_sharer(&mut self, core: usize) {
+        self.sharers |= 1 << core;
+    }
+
+    /// Removes a Shared holder.
+    pub fn remove_sharer(&mut self, core: usize) {
+        self.sharers &= !(1 << core);
+    }
+
+    /// Clears all Shared holders.
+    pub fn clear_sharers(&mut self) {
+        self.sharers = 0;
+    }
+
+    /// Iterates over the cores holding Shared copies.
+    pub fn sharers(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..64).filter(move |c| self.sharers & (1 << c) != 0)
+    }
+
+    /// Every core currently holding a copy (owner first if a core owns it).
+    pub fn holders(&self) -> impl Iterator<Item = usize> + '_ {
+        self.owner_core.into_iter().chain(self.sharers())
+    }
+
+    /// The queued requesters, oldest first.
+    #[must_use]
+    pub fn waiters(&self) -> &VecDeque<Waiter> {
+        &self.waiters
+    }
+
+    /// The request at the head of the queue (the next to be served).
+    #[must_use]
+    pub fn head(&self) -> Option<&Waiter> {
+        self.waiters.front()
+    }
+
+    /// Appends a snooped request.
+    pub fn enqueue(&mut self, waiter: Waiter) {
+        self.waiters.push_back(waiter);
+    }
+
+    /// Enqueues a snooped request from a *critical* core ahead of any
+    /// queued non-critical waiters (PENDULUM's priority rule: Cr requests
+    /// never wait behind nCr requests). `is_critical` classifies queued
+    /// cores; ordering among critical waiters stays FIFO.
+    pub fn enqueue_critical(&mut self, waiter: Waiter, is_critical: impl Fn(usize) -> bool) {
+        let pos = self
+            .waiters
+            .iter()
+            .position(|w| !is_critical(w.core))
+            .unwrap_or(self.waiters.len());
+        self.waiters.insert(pos, waiter);
+    }
+
+    /// Pops the served head request.
+    pub fn dequeue(&mut self) -> Option<Waiter> {
+        self.waiters.pop_front()
+    }
+
+    /// Removes and returns the first queued request from `core` (used when
+    /// priority insertion may have displaced the head after a transfer was
+    /// already in flight).
+    pub fn dequeue_for(&mut self, core: usize) -> Option<Waiter> {
+        let pos = self.waiters.iter().position(|w| w.core == core)?;
+        self.waiters.remove(pos)
+    }
+
+    /// Returns `true` if `core`'s oldest queued request is the head.
+    #[must_use]
+    pub fn is_head(&self, core: usize) -> bool {
+        self.head().is_some_and(|w| w.core == core)
+    }
+
+    /// Returns `true` if this entry carries no information (LLC-owned, no
+    /// holders, no waiters) and can be garbage-collected.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.owner_core.is_none() && self.sharers == 0 && self.waiters.is_empty()
+    }
+
+    /// Whether the head waiter's request requires `holder` to *invalidate*
+    /// (GetM steals from everyone; GetS only dispossesses the Modified
+    /// owner, which downgrades rather than invalidates — but in both cases
+    /// the holder must *release* before the transfer starts).
+    #[must_use]
+    pub fn head_dispossesses(&self, holder: usize) -> bool {
+        match self.head() {
+            Some(w) if w.kind.is_get_m() => self.owner_core == Some(holder) || self.is_sharer(holder),
+            Some(_) => self.owner_core == Some(holder),
+            None => false,
+        }
+    }
+}
+
+/// The global line-address → coherence-state map.
+#[derive(Debug, Clone, Default)]
+pub struct CoherenceMap {
+    lines: HashMap<LineAddr, LineCoh>,
+}
+
+impl CoherenceMap {
+    /// Creates an empty map (every line owned by the LLC).
+    #[must_use]
+    pub fn new() -> Self {
+        CoherenceMap::default()
+    }
+
+    /// Returns the state of a line, if any non-trivial state is recorded.
+    #[must_use]
+    pub fn get(&self, line: LineAddr) -> Option<&LineCoh> {
+        self.lines.get(&line)
+    }
+
+    /// Returns a mutable entry, creating a trivial one if absent.
+    pub fn entry(&mut self, line: LineAddr) -> &mut LineCoh {
+        self.lines.entry(line).or_default()
+    }
+
+    /// Drops the entry if it carries no information.
+    pub fn gc(&mut self, line: LineAddr) {
+        if self.lines.get(&line).is_some_and(LineCoh::is_trivial) {
+            self.lines.remove(&line);
+        }
+    }
+
+    /// Iterates over all tracked lines.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &LineCoh)> {
+        self.lines.iter().map(|(l, c)| (*l, c))
+    }
+
+    /// Number of tracked (non-trivial) lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Returns `true` if no line is tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_line_is_llc_owned() {
+        let line = LineCoh::default();
+        assert_eq!(line.owner(), Owner::Llc);
+        assert!(line.is_trivial());
+        assert_eq!(line.holders().count(), 0);
+    }
+
+    #[test]
+    fn sharer_bitmask() {
+        let mut line = LineCoh::default();
+        line.add_sharer(0);
+        line.add_sharer(3);
+        assert!(line.is_sharer(0));
+        assert!(!line.is_sharer(1));
+        assert_eq!(line.sharers().collect::<Vec<_>>(), vec![0, 3]);
+        line.remove_sharer(0);
+        assert!(!line.is_sharer(0));
+        line.clear_sharers();
+        assert_eq!(line.sharers().count(), 0);
+    }
+
+    #[test]
+    fn holders_include_owner_and_sharers() {
+        let mut line = LineCoh::default();
+        line.set_owner(Owner::Core(2));
+        line.add_sharer(1);
+        let holders: Vec<usize> = line.holders().collect();
+        assert_eq!(holders, vec![2, 1]);
+    }
+
+    #[test]
+    fn waiter_queue_is_fifo() {
+        let mut line = LineCoh::default();
+        line.enqueue(Waiter { core: 1, kind: ReqKind::GetM, enqueued: Cycles::new(5) });
+        line.enqueue(Waiter { core: 2, kind: ReqKind::GetS, enqueued: Cycles::new(9) });
+        assert!(line.is_head(1));
+        assert!(!line.is_head(2));
+        assert_eq!(line.dequeue().unwrap().core, 1);
+        assert!(line.is_head(2));
+    }
+
+    #[test]
+    fn dispossession_rules() {
+        let mut line = LineCoh::default();
+        line.set_owner(Owner::Core(0));
+        line.add_sharer(1);
+        line.enqueue(Waiter { core: 2, kind: ReqKind::GetM, enqueued: Cycles::ZERO });
+        // GetM dispossesses owner and sharers alike.
+        assert!(line.head_dispossesses(0));
+        assert!(line.head_dispossesses(1));
+        assert!(!line.head_dispossesses(3));
+
+        let mut line = LineCoh::default();
+        line.set_owner(Owner::Core(0));
+        line.add_sharer(1);
+        line.enqueue(Waiter { core: 2, kind: ReqKind::GetS, enqueued: Cycles::ZERO });
+        // GetS only dispossesses the Modified owner.
+        assert!(line.head_dispossesses(0));
+        assert!(!line.head_dispossesses(1));
+    }
+
+    #[test]
+    fn map_gc_drops_trivial_entries() {
+        let mut map = CoherenceMap::new();
+        let line = LineAddr::new(7);
+        map.entry(line).set_owner(Owner::Core(0));
+        assert_eq!(map.len(), 1);
+        map.entry(line).set_owner(Owner::Llc);
+        map.gc(line);
+        assert!(map.is_empty());
+        assert!(map.get(line).is_none());
+    }
+}

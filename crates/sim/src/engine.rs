@@ -1,0 +1,902 @@
+//! The cycle-accurate simulation engine.
+//!
+//! The engine advances a global clock over five kinds of activity:
+//!
+//! 1. **cores** replay their traces, hitting in their private caches or
+//!    allocating MSHR entries for misses (hits-over-misses);
+//! 2. **broadcasts** put coherence requests on the shared bus (occupying it
+//!    for the request latency) and enqueue the requester in the line's
+//!    global waiter queue;
+//! 3. **timers** gate when a holder releases a line ([`release_time`]):
+//!    immediately for θ = −1 (MSI) cores, at the next countdown expiry for
+//!    timed cores;
+//! 4. **data transfers** move the line from the releasing owner (or the
+//!    shared memory) to the head waiter, occupying the bus for the data
+//!    latency (doubled when the data path stages through the shared
+//!    memory);
+//! 5. the **arbiter** picks which core uses the bus whenever it is free.
+//!
+//! The clock skips to the next interesting instant (core ready, transfer
+//! end, timer release, TDM slot boundary, scheduled mode switch), which is
+//! observationally identical to stepping every cycle because all state
+//! changes are computed from absolute cycle stamps.
+
+use std::collections::{BTreeMap, HashSet};
+
+use cohort_trace::Workload;
+use cohort_types::{Cycles, Error, LineAddr, Result, TimerValue};
+
+use crate::arbiter::{Arbiter, Candidate, CandidateKind};
+use crate::cache::{L1Line, LineState, SetAssocCache};
+use crate::coherence::{CoherenceMap, Owner, ReqKind, Waiter};
+use crate::core_model::{CoreModel, MshrEntry};
+use crate::event::{EventKind, EventLog, InvalidateCause};
+use crate::timer::release_time;
+use crate::{DataPath, LlcModel, ProtocolFlavor, SimConfig, SimStats};
+
+/// Outcome of evaluating one trace operation against the private cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// Serviced by the private cache.
+    Hit,
+    /// Needs a bus request.
+    Miss { kind: ReqKind, upgrade: bool },
+    /// A miss for the same line is already in flight: wait for it.
+    WaitInflight,
+}
+
+/// An in-flight bus transaction.
+#[derive(Debug, Clone, Copy)]
+struct ActiveTxn {
+    core: usize,
+    line: LineAddr,
+    ends: Cycles,
+    kind: TxnKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnKind {
+    /// Request broadcast without an immediate data response.
+    BroadcastOnly,
+    /// Data transfer to `core` (possibly fused with its broadcast).
+    Transfer { from: Owner },
+}
+
+/// The cycle-accurate simulator.
+///
+/// # Examples
+///
+/// ```
+/// use cohort_sim::{SimConfig, Simulator};
+/// use cohort_trace::micro;
+/// use cohort_types::TimerValue;
+///
+/// // Two MSI cores ping-pong one line.
+/// let config = SimConfig::builder(2).build()?;
+/// let workload = micro::ping_pong(2, 4);
+/// let mut sim = Simulator::new(config, &workload)?;
+/// let stats = sim.run()?;
+/// assert_eq!(stats.cores[0].accesses(), 4);
+/// assert!(stats.execution_time().get() > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+    timers: Vec<TimerValue>,
+    now: Cycles,
+    cores: Vec<CoreModel>,
+    l1s: Vec<SetAssocCache<L1Line>>,
+    coh: CoherenceMap,
+    llc: Option<SetAssocCache<()>>,
+    arbiter: Arbiter,
+    txn: Option<ActiveTxn>,
+    stats: SimStats,
+    events: EventLog,
+    switches: BTreeMap<u64, Vec<TimerValue>>,
+    lines_with_waiters: HashSet<LineAddr>,
+    last_progress: Cycles,
+}
+
+/// Cycles without observable progress after which [`Simulator::run`]
+/// reports a deadlock instead of spinning (a defensive bound well above any
+/// legal stall: max θ is 65 535 and slots are tens of cycles).
+const WATCHDOG: u64 = 2_000_000;
+
+impl Simulator {
+    /// Creates a simulator for `workload` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the workload's core count does
+    /// not match the configuration.
+    pub fn new(config: SimConfig, workload: &Workload) -> Result<Self> {
+        if workload.cores() != config.cores() {
+            return Err(Error::InvalidConfig(format!(
+                "workload has {} cores but the configuration expects {}",
+                workload.cores(),
+                config.cores()
+            )));
+        }
+        let cores = workload
+            .traces()
+            .iter()
+            .map(|t| CoreModel::new(t.ops().to_vec(), config.mshr_per_core()))
+            .collect();
+        let l1s = (0..config.cores()).map(|_| SetAssocCache::new(*config.l1())).collect();
+        let llc = match config.llc() {
+            LlcModel::Perfect => None,
+            LlcModel::Finite(geom) => Some(SetAssocCache::new(*geom)),
+        };
+        // TDM slots must fit a worst-case transaction, which with a finite
+        // LLC includes the memory latency — the same effective slot width
+        // the analysis uses.
+        let slot = config.latency().slot_width() + config.latency().memory;
+        let arbiter = Arbiter::new(config.arbiter(), config.cores(), slot);
+        let stats = SimStats {
+            cores: vec![Default::default(); config.cores()],
+            ..Default::default()
+        };
+        let events = EventLog::new(config.log_events());
+        Ok(Simulator {
+            timers: config.timers().to_vec(),
+            cores,
+            l1s,
+            coh: CoherenceMap::new(),
+            llc,
+            arbiter,
+            txn: None,
+            stats,
+            events,
+            switches: BTreeMap::new(),
+            lines_with_waiters: HashSet::new(),
+            last_progress: Cycles::ZERO,
+            now: Cycles::ZERO,
+            config,
+        })
+    }
+
+    /// The current cycle.
+    #[must_use]
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// The configuration the simulator was built with.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The currently programmed timer registers (they may differ from the
+    /// configuration after a mode switch).
+    #[must_use]
+    pub fn timers(&self) -> &[TimerValue] {
+        &self.timers
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The recorded events (empty unless the configuration enables logging).
+    #[must_use]
+    pub fn events(&self) -> &[crate::Event] {
+        self.events.events()
+    }
+
+    /// Returns `true` once every core drained its trace and the bus idles.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.txn.is_none() && self.cores.iter().all(CoreModel::is_done)
+    }
+
+    /// Schedules a re-programming of all timer registers at `at` — the
+    /// hardware mode-switch mechanism of §VI (each core's Mode-Switch LUT
+    /// entry is written into its θ register).
+    ///
+    /// Semantics follow the Figure-3 circuit: a running per-line countdown
+    /// keeps the θ it loaded at fill time (a register write does not reload
+    /// counters), except that writing −1 pulls Enable low and releases held
+    /// lines immediately. Lines filled after the switch load the new value.
+    /// Consequently the new mode's Eq. 1 bound applies to requests issued
+    /// after in-flight windows drain — at most one old-θ window per held
+    /// line, the standard mode-change transient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the vector length mismatches the
+    /// core count or `at` is in the past.
+    pub fn schedule_timer_switch(&mut self, at: Cycles, timers: Vec<TimerValue>) -> Result<()> {
+        if timers.len() != self.config.cores() {
+            return Err(Error::InvalidConfig(format!(
+                "expected {} timers, got {}",
+                self.config.cores(),
+                timers.len()
+            )));
+        }
+        if at < self.now {
+            return Err(Error::InvalidConfig(format!(
+                "cannot schedule a switch at {at} before the current cycle {}",
+                self.now
+            )));
+        }
+        if self.switches.contains_key(&at.get()) {
+            return Err(Error::InvalidConfig(format!(
+                "a timer switch is already scheduled at cycle {at}"
+            )));
+        }
+        self.switches.insert(at.get(), timers);
+        Ok(())
+    }
+
+    /// Runs the simulation to completion and returns the statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the engine detects a deadlock
+    /// (no progress for a defensive number of cycles) — this indicates an
+    /// engine bug or a pathological configuration, never a legal run.
+    pub fn run(&mut self) -> Result<SimStats> {
+        self.run_until(Cycles::new(u64::MAX))?;
+        Ok(self.stats.clone())
+    }
+
+    /// Runs until `deadline` (exclusive) or completion, whichever is first.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    pub fn run_until(&mut self, deadline: Cycles) -> Result<()> {
+        while !self.is_finished() && self.now < deadline {
+            self.step();
+            if self.is_finished() {
+                break;
+            }
+            if self.now.get().saturating_sub(self.last_progress.get()) > WATCHDOG {
+                return Err(Error::InvalidConfig(format!(
+                    "simulator made no progress for {WATCHDOG} cycles (cycle {}) — deadlock",
+                    self.now
+                )));
+            }
+            let next = self.next_event(deadline);
+            self.now = next.max(Cycles::new(self.now.get() + 1)).min(deadline);
+        }
+        self.stats.cycles =
+            self.stats.cycles.max(self.now.min(deadline)).max(self.stats.execution_time());
+        Ok(())
+    }
+
+    /// One scheduling round at the current cycle.
+    fn step(&mut self) {
+        self.apply_switches();
+        self.complete_txn_if_due();
+        self.step_cores();
+        self.try_start_txn();
+    }
+
+    fn apply_switches(&mut self) {
+        while let Some((&at, _)) = self.switches.first_key_value() {
+            if at > self.now.get() {
+                break;
+            }
+            // Latch every release that already happened under the outgoing
+            // θ values: the hardware counter expired and committed to the
+            // hand-over, so the new registers must not re-protect the line
+            // (nor may they be cheated out of an expiry that passed).
+            self.latch_expired_releases();
+            let (_, timers) = self.switches.pop_first().expect("checked non-empty");
+            self.timers = timers.clone();
+            self.events.record(self.now, EventKind::TimerSwitch { timers });
+            self.last_progress = self.now;
+        }
+    }
+
+    fn latch_expired_releases(&mut self) {
+        let lines: Vec<LineAddr> = self.lines_with_waiters.iter().copied().collect();
+        for line in lines {
+            let Some(coh) = self.coh.get(line) else { continue };
+            let Some(head) = coh.head().copied() else { continue };
+            let holders: Vec<usize> =
+                coh.holders().filter(|&h| h != head.core && coh.head_dispossesses(h)).collect();
+            for holder in holders {
+                let Some(entry) = self.l1s[holder].peek(line).copied() else { continue };
+                if entry.released {
+                    continue;
+                }
+                if self.holder_release(holder, line, &entry, head.enqueued) <= self.now {
+                    if let Some(l1line) = self.l1s[holder].peek_mut(line) {
+                        l1line.released = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- core side ------------------------------------------------------
+
+    fn step_cores(&mut self) {
+        for core in 0..self.cores.len() {
+            self.step_core(core);
+        }
+    }
+
+    fn step_core(&mut self, id: usize) {
+        let hit_latency = self.config.latency().hit;
+        let core = &self.cores[id];
+        if core.finish.is_some() || core.stalled || core.ready_at > self.now {
+            return;
+        }
+        let Some(op) = core.current_op().copied() else {
+            // Trace drained; wait for outstanding misses to finish.
+            return;
+        };
+        match self.classify(id, op.line, op.kind.is_store()) {
+            Outcome::Hit => {
+                let completion = self.now + hit_latency;
+                let core = &mut self.cores[id];
+                core.cursor += 1;
+                core.last_completion = completion;
+                let next_gap = core.current_op().map_or(Cycles::ZERO, |o| o.gap);
+                core.ready_at = completion + next_gap;
+                let stats = &mut self.stats.cores[id];
+                stats.hits += 1;
+                stats.total_latency += hit_latency;
+                if let Some(l1line) = self.l1s[id].touch(op.line) {
+                    // MESI: the first store to an Exclusive line upgrades
+                    // silently — write permission without a bus transaction.
+                    if op.kind.is_store() && l1line.state == LineState::Exclusive {
+                        l1line.state = LineState::Modified;
+                    }
+                }
+                self.events.record(self.now, EventKind::Hit { core: id, line: op.line });
+                self.mark_done_if_drained(id);
+                self.last_progress = self.now;
+            }
+            Outcome::Miss { kind, upgrade } => {
+                let core = &mut self.cores[id];
+                if core.mshr.len() >= core.mshr_capacity {
+                    core.stalled = true;
+                    return;
+                }
+                core.allocate(MshrEntry {
+                    line: op.line,
+                    kind,
+                    issued: self.now,
+                    broadcast: false,
+                    upgrade,
+                });
+                core.cursor += 1;
+                // Issuing the miss occupies the core for one cycle; it then
+                // continues with subsequent accesses (hits-over-misses).
+                let next_gap = core.current_op().map_or(Cycles::ZERO, |o| o.gap);
+                core.ready_at = self.now + Cycles::new(1) + next_gap;
+                self.events
+                    .record(self.now, EventKind::MissIssued { core: id, line: op.line, kind });
+                self.last_progress = self.now;
+            }
+            Outcome::WaitInflight => {
+                self.cores[id].stalled = true;
+            }
+        }
+    }
+
+    /// Classifies an access against the private cache, honouring the
+    /// *effective* coherence state: a line whose release instant has passed
+    /// (head waiter pending, timer expired) no longer yields hits even if
+    /// the physical hand-over has not happened yet.
+    fn classify(&self, id: usize, line: LineAddr, is_store: bool) -> Outcome {
+        if self.cores[id].has_inflight(line) {
+            return Outcome::WaitInflight;
+        }
+        let Some(l1line) = self.l1s[id].peek(line) else {
+            let kind = if is_store { ReqKind::GetM } else { ReqKind::GetS };
+            return Outcome::Miss { kind, upgrade: false };
+        };
+        let mut state = l1line.state;
+        if let Some(coh) = self.coh.get(line) {
+            if let Some(head) = coh.head() {
+                if head.core != id && coh.head_dispossesses(id) {
+                    let released = self.holder_release(id, line, l1line, head.enqueued);
+                    if self.now >= released {
+                        match head.kind {
+                            // The line has logically left this cache.
+                            ReqKind::GetM => {
+                                let kind =
+                                    if is_store { ReqKind::GetM } else { ReqKind::GetS };
+                                return Outcome::Miss { kind, upgrade: false };
+                            }
+                            // The owner has logically downgraded to Shared.
+                            ReqKind::GetS => state = LineState::Shared,
+                        }
+                    }
+                }
+            }
+        }
+        if is_store && !state.is_writable() {
+            return Outcome::Miss { kind: ReqKind::GetM, upgrade: true };
+        }
+        Outcome::Hit
+    }
+
+    fn mark_done_if_drained(&mut self, id: usize) {
+        let core = &mut self.cores[id];
+        if core.finish.is_none() && core.is_done() {
+            core.finish = Some(core.last_completion);
+            self.stats.cores[id].finish = core.last_completion;
+        }
+    }
+
+    // ----- bus side -------------------------------------------------------
+
+    /// Builds each core's arbitration candidate at the current cycle.
+    fn candidates(&self) -> Vec<Option<Candidate>> {
+        (0..self.cores.len()).map(|id| self.candidate(id)).collect()
+    }
+
+    fn candidate(&self, id: usize) -> Option<Candidate> {
+        let core = &self.cores[id];
+        // A ready data response for any broadcast request (oldest first).
+        for m in core.mshr.iter().filter(|m| m.broadcast) {
+            let Some(coh) = self.coh.get(m.line) else { continue };
+            if coh.is_head(id) && self.holders_released(m.line, self.now) {
+                return Some(Candidate {
+                    kind: CandidateKind::Receive,
+                    issued: m.issued,
+                    line: m.line,
+                });
+            }
+        }
+        // Otherwise broadcast the oldest request that has not hit the bus.
+        core.oldest_unbroadcast().map(|m| Candidate {
+            kind: CandidateKind::Broadcast,
+            issued: m.issued,
+            line: m.line,
+        })
+    }
+
+    /// The timer governing a holder's countdown for `line`: the per-line
+    /// loaded θ, overridden to immediate release when the live register is
+    /// −1 (Enable low) or the holder itself waits on the line (a core
+    /// stalled on its own request cannot hit the line, so the controller
+    /// drops the protection — this is what keeps a core's own timer out of
+    /// its own Eq. 1 bound, the `j ≠ i` exclusion).
+    fn effective_timer(&self, holder: usize, line: LineAddr, l1line: &L1Line) -> TimerValue {
+        if self.timers[holder].is_msi() || self.cores[holder].has_inflight(line) {
+            TimerValue::MSI
+        } else {
+            l1line.theta
+        }
+    }
+
+    /// The single source of truth for when `holder` releases `line` to the
+    /// request pending since `pending`: the released latch short-circuits,
+    /// otherwise the Figure-3 expiry boundary under the effective timer.
+    /// Used by candidate readiness, hit classification and switch latching
+    /// alike — change release semantics here and nowhere else.
+    fn holder_release(
+        &self,
+        holder: usize,
+        line: LineAddr,
+        l1line: &L1Line,
+        pending: Cycles,
+    ) -> Cycles {
+        if l1line.released {
+            return Cycles::ZERO;
+        }
+        let timer = self.effective_timer(holder, line, l1line);
+        release_time(l1line.anchor, timer, pending.max(l1line.anchor))
+    }
+
+    /// Whether every holder the head waiter dispossesses has released the
+    /// line by `at`.
+    fn holders_released(&self, line: LineAddr, at: Cycles) -> bool {
+        self.head_release_instant(line).is_some_and(|r| r <= at)
+    }
+
+    /// The instant at which the head waiter's transfer may start: the
+    /// latest release among the holders it dispossesses (its own enqueue
+    /// instant if nothing needs to release). `None` if the line has no
+    /// waiters.
+    fn head_release_instant(&self, line: LineAddr) -> Option<Cycles> {
+        let coh = self.coh.get(line)?;
+        let head = coh.head()?;
+        let mut latest = head.enqueued;
+        for holder in coh.holders() {
+            if holder == head.core || !coh.head_dispossesses(holder) {
+                continue;
+            }
+            let Some(l1line) = self.l1s[holder].peek(line) else {
+                continue; // already evicted: released
+            };
+            let release = self.holder_release(holder, line, l1line, head.enqueued);
+            latest = latest.max(release);
+        }
+        Some(latest)
+    }
+
+    fn complete_txn_if_due(&mut self) {
+        let Some(txn) = self.txn else { return };
+        if txn.ends > self.now {
+            return;
+        }
+        self.txn = None;
+        if let TxnKind::Transfer { from } = txn.kind {
+            self.finish_transfer(txn.core, txn.line, from, txn.ends);
+        }
+        self.last_progress = self.now;
+    }
+
+    fn try_start_txn(&mut self) {
+        if self.txn.is_some() {
+            return;
+        }
+        let candidates = self.candidates();
+        let Some(granted) = self.arbiter.grant(self.now, &candidates) else { return };
+        let cand = candidates[granted].expect("granted core has a candidate");
+        self.arbiter.on_grant(granted);
+        match cand.kind {
+            CandidateKind::Broadcast => self.start_broadcast(granted),
+            CandidateKind::Receive => self.start_receive(granted, cand.line),
+        }
+        self.last_progress = self.now;
+    }
+
+    fn start_broadcast(&mut self, id: usize) {
+        let request_latency = self.config.latency().request;
+        let m = *self.cores[id].oldest_unbroadcast().expect("broadcast candidate exists");
+        let snoop_at = self.now + request_latency;
+        self.cores[id].mark_broadcast(m.line);
+        let waiter = Waiter { core: id, kind: m.kind, enqueued: snoop_at };
+        match self.config.waiter_priority().map(<[bool]>::to_vec) {
+            Some(critical) if critical[id] => {
+                self.coh.entry(m.line).enqueue_critical(waiter, |c| critical[c]);
+            }
+            _ => self.coh.entry(m.line).enqueue(waiter),
+        }
+        self.lines_with_waiters.insert(m.line);
+        self.stats.broadcasts += 1;
+        self.events
+            .record(self.now, EventKind::Broadcast { core: id, line: m.line, kind: m.kind });
+
+        // Fuse the data response into the same bus tenure when the request
+        // is immediately serviceable (head of queue, every holder released
+        // by the snoop instant — e.g. the shared memory owns the line, or
+        // all holders run MSI).
+        let fused = self.coh.get(m.line).is_some_and(|c| c.is_head(id))
+            && self.holders_released(m.line, snoop_at);
+        if fused {
+            let from = self.coh.get(m.line).map_or(Owner::Llc, |c| c.owner());
+            let duration = self.transfer_duration(from, m.line);
+            self.stats.transfers += 1;
+            self.events.record(
+                snoop_at,
+                EventKind::TransferStart { from: from.core(), to: id, line: m.line },
+            );
+            let ends = snoop_at + duration;
+            self.stats.bus_busy += ends - self.now;
+            self.txn =
+                Some(ActiveTxn { core: id, line: m.line, ends, kind: TxnKind::Transfer { from } });
+        } else {
+            self.stats.bus_busy += request_latency;
+            self.txn = Some(ActiveTxn {
+                core: id,
+                line: m.line,
+                ends: snoop_at,
+                kind: TxnKind::BroadcastOnly,
+            });
+        }
+    }
+
+    fn start_receive(&mut self, id: usize, line: LineAddr) {
+        debug_assert!(
+            self.coh.get(line).is_some_and(|c| c.is_head(id))
+                && self.holders_released(line, self.now),
+            "granted receive candidate is ready"
+        );
+        let from = self.coh.get(line).map_or(Owner::Llc, |c| c.owner());
+        let duration = self.transfer_duration(from, line);
+        self.stats.transfers += 1;
+        self.events
+            .record(self.now, EventKind::TransferStart { from: from.core(), to: id, line });
+        let ends = self.now + duration;
+        self.stats.bus_busy += duration;
+        self.txn = Some(ActiveTxn { core: id, line, ends, kind: TxnKind::Transfer { from } });
+    }
+
+    /// Bus occupancy of the data movement for `line` supplied by `from`,
+    /// with LLC bookkeeping (miss counting, fills, back-invalidations).
+    fn transfer_duration(&mut self, from: Owner, line: LineAddr) -> Cycles {
+        let lat = *self.config.latency();
+        match from {
+            Owner::Core(_) => {
+                if let Some(llc) = &mut self.llc {
+                    // Inclusion: a core-owned line is resident in the LLC.
+                    if llc.touch(line).is_none() {
+                        debug_assert!(false, "inclusion violated for {line}");
+                        self.fill_llc(line);
+                    }
+                }
+                match self.config.data_path() {
+                    DataPath::CacheToCache => lat.data,
+                    // PCC stages the hand-over through the shared memory:
+                    // writeback + refetch occupy two data tenures.
+                    DataPath::ViaSharedMemory => lat.data * 2,
+                }
+            }
+            Owner::Llc => {
+                let hit = match &mut self.llc {
+                    None => true,
+                    Some(llc) => llc.touch(line).is_some(),
+                };
+                if hit {
+                    lat.data
+                } else {
+                    self.stats.llc_misses += 1;
+                    self.fill_llc(line);
+                    lat.data + lat.memory
+                }
+            }
+        }
+    }
+
+    /// Inserts `line` into the finite LLC, back-invalidating the victim's
+    /// private copies to preserve inclusion. Victims with coherence
+    /// activity (holders or waiters) are avoided when possible.
+    fn fill_llc(&mut self, line: LineAddr) {
+        let coh = &self.coh;
+        let evicted = match &mut self.llc {
+            None => None,
+            Some(llc) => llc.insert_select(line, (), |victim, ()| {
+                coh.get(victim).is_none_or(|c| c.holders().next().is_none() && c.head().is_none())
+            }),
+        };
+        if let Some((victim, ())) = evicted {
+            let holders: Vec<usize> =
+                self.coh.get(victim).map(|c| c.holders().collect()).unwrap_or_default();
+            for holder in holders {
+                if self.l1s[holder].remove(victim).is_some() {
+                    self.stats.back_invalidations += 1;
+                    self.events.record(
+                        self.now,
+                        EventKind::Invalidate {
+                            core: holder,
+                            line: victim,
+                            cause: InvalidateCause::BackInvalidation,
+                        },
+                    );
+                }
+            }
+            let entry = self.coh.entry(victim);
+            entry.set_owner(Owner::Llc);
+            entry.clear_sharers();
+            self.coh.gc(victim);
+        }
+    }
+
+    /// Applies the effects of a completed data transfer at `ends`.
+    fn finish_transfer(&mut self, to: usize, line: LineAddr, from: Owner, ends: Cycles) {
+        // Priority insertion may have displaced the transferee from the
+        // head while its transfer was in flight, so dequeue by core.
+        let waiter = self
+            .coh
+            .entry(line)
+            .dequeue_for(to)
+            .expect("transfer completion implies a queued waiter");
+        if self.coh.get(line).is_some_and(|c| c.head().is_none()) {
+            self.lines_with_waiters.remove(&line);
+        }
+
+        // Dispossess / downgrade the previous holders.
+        match waiter.kind {
+            ReqKind::GetM => {
+                let holders: Vec<usize> =
+                    self.coh.get(line).map(|c| c.holders().collect()).unwrap_or_default();
+                for holder in holders {
+                    if holder == to {
+                        continue; // an upgrading requester keeps its copy
+                    }
+                    if self.l1s[holder].remove(line).is_some() {
+                        self.events.record(
+                            ends,
+                            EventKind::Invalidate {
+                                core: holder,
+                                line,
+                                cause: InvalidateCause::Stolen,
+                            },
+                        );
+                    }
+                }
+                let entry = self.coh.entry(line);
+                entry.clear_sharers();
+                entry.set_owner(Owner::Core(to));
+            }
+            ReqKind::GetS => {
+                if let Owner::Core(owner) = from {
+                    if let Some(l1line) = self.l1s[owner].peek_mut(line) {
+                        l1line.state = LineState::Shared;
+                        self.events.record(ends, EventKind::Downgrade { core: owner, line });
+                    }
+                    let entry = self.coh.entry(line);
+                    entry.set_owner(Owner::Llc);
+                    entry.add_sharer(owner);
+                }
+                // MESI: an unshared read fill from the shared memory with
+                // nobody else queued is granted Exclusive; the requester
+                // becomes the owner without adding itself as a sharer.
+                let entry = self.coh.entry(line);
+                let exclusive = self.config.flavor() == ProtocolFlavor::Mesi
+                    && matches!(from, Owner::Llc)
+                    && entry.sharers().next().is_none()
+                    && entry.head().is_none();
+                if exclusive {
+                    entry.set_owner(Owner::Core(to));
+                } else {
+                    entry.add_sharer(to);
+                }
+            }
+        }
+
+        // Fill the requester's private cache.
+        let state = match waiter.kind {
+            ReqKind::GetM => LineState::Modified,
+            ReqKind::GetS
+                if self.coh.get(line).is_some_and(|c| c.owner() == Owner::Core(to)) =>
+            {
+                LineState::Exclusive
+            }
+            ReqKind::GetS => LineState::Shared,
+        };
+        let theta_loaded = self.timers[to];
+        let evicted = self.l1s[to].insert(line, L1Line::filled(state, ends, theta_loaded));
+        if let Some((victim, victim_line)) = evicted {
+            self.evict_l1(to, victim, victim_line, ends);
+        }
+        self.coh.gc(line);
+
+        // Complete the core's MSHR entry and account the request.
+        let core = &mut self.cores[to];
+        let was_oldest = core.oldest_request().is_some_and(|m| m.line == line);
+        let entry = core.complete(line).expect("transfer completes an in-flight miss");
+        let latency = ends - entry.issued;
+        let stats = &mut self.stats.cores[to];
+        stats.misses += 1;
+        if entry.upgrade {
+            stats.upgrades += 1;
+        }
+        stats.total_latency += latency;
+        stats.worst_request = stats.worst_request.max(latency);
+        core.last_completion = ends;
+        core.stalled = false;
+        core.ready_at = core.ready_at.max(ends);
+        self.events.record(ends, EventKind::Fill { core: to, line, kind: waiter.kind, latency });
+        if was_oldest {
+            self.arbiter.on_request_served(to);
+        }
+        self.mark_done_if_drained(to);
+    }
+
+    /// Handles an L1 replacement: a Modified victim's ownership returns to
+    /// the shared memory (the write-back is folded into the fill tenure, as
+    /// in the paper's fixed data latency), a Shared victim simply drops out.
+    fn evict_l1(&mut self, id: usize, victim: LineAddr, victim_line: L1Line, at: Cycles) {
+        self.stats.evictions += 1;
+        self.events.record(
+            at,
+            EventKind::Invalidate { core: id, line: victim, cause: InvalidateCause::Replacement },
+        );
+        let entry = self.coh.entry(victim);
+        if victim_line.state.is_owned() {
+            debug_assert_eq!(entry.owner(), Owner::Core(id), "owned line without ownership");
+            entry.set_owner(Owner::Llc);
+        } else {
+            entry.remove_sharer(id);
+        }
+        self.coh.gc(victim);
+    }
+
+    // ----- scheduling -----------------------------------------------------
+
+    /// The next instant at which anything can happen, capped at `deadline`.
+    fn next_event(&self, deadline: Cycles) -> Cycles {
+        let mut next = deadline;
+        if let Some(txn) = &self.txn {
+            next = next.min(txn.ends);
+        }
+        for core in &self.cores {
+            if core.finish.is_none() && !core.stalled && core.ready_at > self.now {
+                next = next.min(core.ready_at);
+            }
+        }
+        if let Some((&at, _)) = self.switches.first_key_value() {
+            next = next.min(Cycles::new(at));
+        }
+        if self.txn.is_none() {
+            // Timer releases that will unblock a head waiter.
+            for &line in &self.lines_with_waiters {
+                if let Some(release) = self.head_release_instant(line) {
+                    if release > self.now {
+                        next = next.min(release);
+                    }
+                }
+            }
+            // TDM can only grant on slot boundaries.
+            let opportunity = self.arbiter.next_grant_opportunity(self.now);
+            if opportunity > self.now {
+                next = next.min(opportunity);
+            }
+        }
+        next
+    }
+
+    // ----- validation (tests, property checks) -----------------------------
+
+    /// Checks the coherence invariants (SWMR, bookkeeping/physical-state
+    /// agreement, LLC inclusion). Intended for tests; costs a full scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate_coherence(&self) -> core::result::Result<(), String> {
+        use std::collections::HashMap;
+        let mut owned: HashMap<LineAddr, Vec<usize>> = HashMap::new();
+        let mut shared: HashMap<LineAddr, Vec<usize>> = HashMap::new();
+        for (id, l1) in self.l1s.iter().enumerate() {
+            for (line, payload) in l1.iter() {
+                if payload.state.is_owned() {
+                    owned.entry(line).or_default().push(id);
+                } else {
+                    shared.entry(line).or_default().push(id);
+                }
+                if let Some(llc) = &self.llc {
+                    if !llc.contains(line) {
+                        return Err(format!("inclusion violated: {line} in c{id} not in LLC"));
+                    }
+                }
+            }
+        }
+        for (line, owners) in &owned {
+            if owners.len() > 1 {
+                return Err(format!("SWMR violated: {line} owned by {owners:?}"));
+            }
+            if shared.contains_key(line) {
+                return Err(format!("{line} simultaneously owned and Shared"));
+            }
+            let owner = self.coh.get(*line).map(|c| c.owner());
+            if owner != Some(Owner::Core(owners[0])) {
+                return Err(format!(
+                    "{line} owned by c{} but coherence owner is {owner:?}",
+                    owners[0]
+                ));
+            }
+        }
+        for (line, sharers) in &shared {
+            let Some(coh) = self.coh.get(*line) else {
+                return Err(format!("{line} Shared without a coherence entry"));
+            };
+            for &s in sharers {
+                if !coh.is_sharer(s) {
+                    return Err(format!("{line} Shared in c{s} but not tracked as sharer"));
+                }
+            }
+        }
+        for (line, coh) in self.coh.iter() {
+            if let Owner::Core(id) = coh.owner() {
+                let is_owned = self.l1s[id]
+                    .peek(line)
+                    .is_some_and(|l| l.state.is_owned());
+                if !is_owned {
+                    return Err(format!("coherence says c{id} owns {line} but L1 disagrees"));
+                }
+            }
+            for s in coh.sharers() {
+                if self.l1s[s].peek(line).is_none() {
+                    return Err(format!("coherence says c{s} shares {line} but L1 disagrees"));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,233 @@
+//! Persistence for traces and workloads.
+//!
+//! Two formats are provided:
+//!
+//! - **JSON** (via serde): human-readable, used for experiment manifests and
+//!   small scripted workloads checked into the repository;
+//! - **binary**: a compact little-endian framing for full-scale kernel
+//!   traces (an ocean trace at 2.5 M requests is ~32 MiB as JSON but
+//!   ~13 bytes/op here), built on the [`bytes`] crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use cohort_trace::{codec, micro};
+//!
+//! let w = micro::ping_pong(2, 3);
+//! let json = codec::to_json(&w)?;
+//! assert_eq!(codec::from_json(&json)?, w);
+//!
+//! let bin = codec::to_binary(&w)?;
+//! assert_eq!(codec::from_binary(&bin)?, w);
+//! # Ok::<(), cohort_types::Error>(())
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use cohort_types::{Cycles, Error, LineAddr, Result};
+
+use crate::{AccessKind, Trace, TraceOp, Workload};
+
+/// Magic bytes identifying the binary trace format.
+const MAGIC: &[u8; 4] = b"CHRT";
+/// Current binary format version.
+const VERSION: u16 = 1;
+
+/// Serializes a workload to pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns [`Error::Codec`] if serialization fails (practically impossible
+/// for these plain-data types, but surfaced rather than panicking).
+pub fn to_json(workload: &Workload) -> Result<String> {
+    serde_json::to_string_pretty(workload).map_err(|e| Error::Codec(e.to_string()))
+}
+
+/// Deserializes a workload from JSON.
+///
+/// # Errors
+///
+/// Returns [`Error::Codec`] if the input is not a valid workload document.
+pub fn from_json(json: &str) -> Result<Workload> {
+    serde_json::from_str(json).map_err(|e| Error::Codec(e.to_string()))
+}
+
+/// Serializes a workload to the compact binary format.
+///
+/// # Errors
+///
+/// Returns [`Error::Codec`] if the workload cannot be represented exactly:
+/// a name longer than 65 535 bytes, or a compute gap that does not fit the
+/// 32-bit on-disk field (the round-trip guarantee would otherwise be
+/// silently broken).
+pub fn to_binary(workload: &Workload) -> Result<Bytes> {
+    let name = workload.name().as_bytes();
+    let name_len = u16::try_from(name.len())
+        .map_err(|_| Error::Codec(format!("workload name is {} bytes, max 65535", name.len())))?;
+    let mut buf = BytesMut::with_capacity(
+        16 + name.len() + workload.total_accesses() as usize * 13,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(name_len);
+    buf.put_slice(name);
+    buf.put_u32_le(workload.cores() as u32);
+    for trace in workload.traces() {
+        buf.put_u64_le(trace.len() as u64);
+        for op in trace.iter() {
+            let gap = u32::try_from(op.gap.get()).map_err(|_| {
+                Error::Codec(format!("compute gap {} exceeds the 32-bit field", op.gap.get()))
+            })?;
+            buf.put_u64_le(op.line.raw());
+            buf.put_u8(if op.kind.is_store() { 1 } else { 0 });
+            buf.put_u32_le(gap);
+        }
+    }
+    Ok(buf.freeze())
+}
+
+/// Deserializes a workload from the compact binary format.
+///
+/// # Errors
+///
+/// Returns [`Error::Codec`] on truncated input, an unknown magic/version, or
+/// a corrupt access-kind byte.
+pub fn from_binary(mut buf: &[u8]) -> Result<Workload> {
+    fn need(buf: &[u8], n: usize, what: &str) -> Result<()> {
+        if buf.remaining() < n {
+            return Err(Error::Codec(format!("truncated input while reading {what}")));
+        }
+        Ok(())
+    }
+
+    need(buf, 6, "header")?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(Error::Codec("bad magic bytes, not a CoHoRT trace file".into()));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(Error::Codec(format!("unsupported trace format version {version}")));
+    }
+    need(buf, 2, "name length")?;
+    let name_len = buf.get_u16_le() as usize;
+    need(buf, name_len, "name")?;
+    let name = String::from_utf8(buf[..name_len].to_vec())
+        .map_err(|e| Error::Codec(format!("workload name is not utf-8: {e}")))?;
+    buf.advance(name_len);
+    need(buf, 4, "core count")?;
+    let cores = buf.get_u32_le() as usize;
+    if cores == 0 {
+        return Err(Error::Codec("workload encodes zero cores".into()));
+    }
+
+    let mut traces = Vec::with_capacity(cores);
+    for core in 0..cores {
+        need(buf, 8, "trace length")?;
+        let len = buf.get_u64_le() as usize;
+        // Never trust the length field for allocation: cap the initial
+        // capacity by what the remaining bytes could possibly hold (13
+        // bytes per op), so a corrupt header cannot trigger a huge
+        // allocation before the per-op bounds checks run.
+        let mut ops = Vec::with_capacity(len.min(buf.remaining() / 13 + 1));
+        for i in 0..len {
+            need(buf, 13, "trace op")?;
+            let line = LineAddr::new(buf.get_u64_le());
+            let kind = match buf.get_u8() {
+                0 => AccessKind::Load,
+                1 => AccessKind::Store,
+                k => {
+                    return Err(Error::Codec(format!(
+                        "corrupt access kind {k} at core {core} op {i}"
+                    )))
+                }
+            };
+            let gap = Cycles::new(u64::from(buf.get_u32_le()));
+            ops.push(TraceOp::new(line, kind, gap));
+        }
+        traces.push(Trace::from_ops(ops));
+    }
+    Workload::new(name, traces).map_err(|e| Error::Codec(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro;
+
+    #[test]
+    fn json_round_trip() {
+        let w = micro::random_shared(3, 16, 40, 0.3, 9);
+        let json = to_json(&w).unwrap();
+        assert_eq!(from_json(&json).unwrap(), w);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let w = micro::random_shared(4, 64, 200, 0.5, 1);
+        let bin = to_binary(&w).unwrap();
+        assert_eq!(from_binary(&bin).unwrap(), w);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = from_binary(b"NOPE\x01\x00").unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn binary_rejects_truncation_everywhere() {
+        let w = micro::ping_pong(2, 2);
+        let bin = to_binary(&w).unwrap();
+        for cut in 0..bin.len() {
+            assert!(from_binary(&bin[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn binary_rejects_wrong_version() {
+        let w = micro::ping_pong(1, 1);
+        let mut bin = to_binary(&w).unwrap().to_vec();
+        bin[4] = 99;
+        assert!(from_binary(&bin).unwrap_err().to_string().contains("version"));
+    }
+
+    #[test]
+    fn binary_rejects_corrupt_kind() {
+        let w = micro::ping_pong(1, 1);
+        let mut bin = to_binary(&w).unwrap().to_vec();
+        let kind_offset = bin.len() - 5; // last op: ..., kind(1), gap(4)
+        bin[kind_offset] = 7;
+        assert!(from_binary(&bin).unwrap_err().to_string().contains("access kind"));
+    }
+
+    #[test]
+    fn binary_rejects_huge_length_field_without_allocating() {
+        let w = micro::ping_pong(1, 1);
+        let mut bin = to_binary(&w).unwrap().to_vec();
+        // Overwrite the trace-length field (after magic+version+name+cores)
+        // with u64::MAX: must error, not attempt an exabyte allocation.
+        let len_offset = 4 + 2 + 2 + "ping-pong".len() + 4;
+        bin[len_offset..len_offset + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(from_binary(&bin).unwrap_err().to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn binary_rejects_unencodable_gaps() {
+        let w = Workload::new(
+            "big-gap",
+            vec![Trace::from_ops(vec![TraceOp::load(0).after(u64::from(u32::MAX) + 1)])],
+        )
+        .unwrap();
+        assert!(to_binary(&w).unwrap_err().to_string().contains("32-bit"));
+    }
+
+    #[test]
+    fn json_is_human_readable() {
+        let w = micro::ping_pong(1, 1);
+        let json = to_json(&w).unwrap();
+        assert!(json.contains("ping-pong"));
+        assert!(json.contains("Store"));
+    }
+}

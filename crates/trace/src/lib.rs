@@ -1,0 +1,48 @@
+//! Memory traces and synthetic SPLASH-2-like workload generators.
+//!
+//! The CoHoRT paper evaluates on the SPLASH-2 multithreaded benchmark suite,
+//! which is not redistributable here; this crate substitutes deterministic,
+//! seeded **synthetic trace generators** that reproduce each kernel's
+//! *sharing structure* — the property the coherence evaluation actually
+//! depends on (fraction of shared lines, read/write mix, reuse distance,
+//! communication pattern). See `DESIGN.md` §2 for the substitution argument.
+//!
+//! The crate provides:
+//!
+//! - the trace model ([`AccessKind`], [`TraceOp`], [`Trace`], [`Workload`]),
+//! - [`kernels`]: generators for `fft`, `lu`, `radix`, `ocean`, `barnes` and
+//!   `water` ([`KernelSpec`], [`Kernel`]),
+//! - [`micro`]: tiny scripted workloads (ping-pong, streaming, the Figure-1
+//!   and Figure-4 scenarios) used by tests and examples,
+//! - [`codec`]: JSON and compact binary persistence.
+//!
+//! # Examples
+//!
+//! ```
+//! use cohort_trace::{Kernel, KernelSpec};
+//!
+//! // A 4-core fft-like workload with the paper's scale (~47k requests).
+//! let workload = KernelSpec::new(Kernel::Fft, 4).generate();
+//! assert_eq!(workload.cores(), 4);
+//! let total: u64 = workload.traces().iter().map(|t| t.len() as u64).sum();
+//! assert!(total > 40_000 && total < 60_000);
+//!
+//! // Generation is deterministic for a fixed seed.
+//! let again = KernelSpec::new(Kernel::Fft, 4).generate();
+//! assert_eq!(workload, again);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod kernels;
+pub mod micro;
+mod op;
+mod trace;
+mod workload;
+
+pub use kernels::{Kernel, KernelSpec};
+pub use op::{AccessKind, TraceOp};
+pub use trace::{Trace, TraceStats};
+pub use workload::Workload;

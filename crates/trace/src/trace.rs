@@ -1,0 +1,194 @@
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use cohort_types::Cycles;
+
+use crate::{AccessKind, TraceOp};
+
+/// The memory-access trace of one core (one thread of the workload).
+///
+/// A trace is an ordered sequence of [`TraceOp`]s. The simulator replays it
+/// through the core model; the static analysis walks it to compute
+/// guaranteed hits; Λ (the task's total access count) is [`Trace::len`].
+///
+/// # Examples
+///
+/// ```
+/// use cohort_trace::{Trace, TraceOp};
+///
+/// let trace: Trace = [TraceOp::store(0x10), TraceOp::load(0x10).after(5)]
+///     .into_iter()
+///     .collect();
+/// assert_eq!(trace.len(), 2);
+/// let stats = trace.stats();
+/// assert_eq!(stats.stores, 1);
+/// assert_eq!(stats.unique_lines, 1);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace { ops: Vec::new() }
+    }
+
+    /// Creates a trace from a vector of operations.
+    #[must_use]
+    pub fn from_ops(ops: Vec<TraceOp>) -> Self {
+        Trace { ops }
+    }
+
+    /// Appends one operation.
+    pub fn push(&mut self, op: TraceOp) {
+        self.ops.push(op);
+    }
+
+    /// Returns the number of memory accesses Λ in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the trace contains no accesses.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Returns the operations as a slice.
+    #[must_use]
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// Iterates over the operations.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceOp> {
+        self.ops.iter()
+    }
+
+    /// Computes summary statistics over the trace.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        let mut compute = Cycles::ZERO;
+        let mut lines = HashSet::new();
+        for op in &self.ops {
+            match op.kind {
+                AccessKind::Load => loads += 1,
+                AccessKind::Store => stores += 1,
+            }
+            compute += op.gap;
+            lines.insert(op.line);
+        }
+        TraceStats { loads, stores, unique_lines: lines.len() as u64, compute }
+    }
+}
+
+impl FromIterator<TraceOp> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceOp>>(iter: I) -> Self {
+        Trace { ops: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<TraceOp> for Trace {
+    fn extend<I: IntoIterator<Item = TraceOp>>(&mut self, iter: I) {
+        self.ops.extend(iter);
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = TraceOp;
+    type IntoIter = std::vec::IntoIter<TraceOp>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceOp;
+    type IntoIter = std::slice::Iter<'a, TraceOp>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+/// Summary statistics of a [`Trace`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of load operations.
+    pub loads: u64,
+    /// Number of store operations.
+    pub stores: u64,
+    /// Number of distinct cache lines touched.
+    pub unique_lines: u64,
+    /// Total compute-gap cycles in the trace.
+    pub compute: Cycles,
+}
+
+impl TraceStats {
+    /// Total number of accesses (Λ).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Fraction of accesses that are stores, in `[0, 1]`.
+    #[must_use]
+    pub fn store_fraction(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.stores as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_count_kinds_lines_and_compute() {
+        let trace: Trace = [
+            TraceOp::load(1).after(2),
+            TraceOp::store(1).after(3),
+            TraceOp::store(2),
+            TraceOp::load(3).after(5),
+        ]
+        .into_iter()
+        .collect();
+        let s = trace.stats();
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.stores, 2);
+        assert_eq!(s.unique_lines, 3);
+        assert_eq!(s.compute.get(), 10);
+        assert_eq!(s.accesses(), 4);
+        assert!((s.store_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.stats().accesses(), 0);
+        assert_eq!(t.stats().store_fraction(), 0.0);
+    }
+
+    #[test]
+    fn extend_and_iterate() {
+        let mut t = Trace::new();
+        t.extend([TraceOp::load(0), TraceOp::load(1)]);
+        t.push(TraceOp::store(2));
+        assert_eq!(t.len(), 3);
+        let lines: Vec<u64> = t.iter().map(|op| op.line.raw()).collect();
+        assert_eq!(lines, vec![0, 1, 2]);
+        let owned: Vec<TraceOp> = t.clone().into_iter().collect();
+        assert_eq!(owned.len(), 3);
+    }
+}

@@ -1,0 +1,102 @@
+use core::fmt;
+
+/// Error type shared by the CoHoRT workspace crates.
+///
+/// Every fallible public constructor or operation in the stack reports
+/// failures through this enum, so downstream crates can bubble errors with
+/// `?` without defining conversion boilerplate for each layer.
+///
+/// # Examples
+///
+/// ```
+/// use cohort_types::{Error, TimerValue};
+///
+/// let err = TimerValue::timed(u64::from(u16::MAX) + 1).unwrap_err();
+/// assert!(matches!(err, Error::TimerOutOfRange { .. }));
+/// assert!(err.to_string().contains("timer"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A timer threshold exceeded the 16-bit register range mandated by the
+    /// CoHoRT cache-controller architecture (§III-B of the paper).
+    TimerOutOfRange {
+        /// The rejected θ value.
+        value: u64,
+        /// The maximum representable θ (2¹⁶ − 1).
+        max: u64,
+    },
+    /// A criticality level or mode index was zero or exceeded the number of
+    /// levels supported by the system.
+    LevelOutOfRange {
+        /// The rejected level.
+        value: u32,
+        /// The highest level the system supports.
+        max: u32,
+    },
+    /// A core index referenced a core that does not exist in the system.
+    UnknownCore {
+        /// The rejected core index.
+        index: usize,
+        /// The number of cores in the system.
+        cores: usize,
+    },
+    /// A configuration value was structurally invalid (empty system, zero
+    /// cache size, non-power-of-two line size, …).
+    InvalidConfig(String),
+    /// A trace or workload could not be decoded.
+    Codec(String),
+    /// The optimization engine could not find a feasible timer assignment
+    /// (constraint C1 cannot be met for at least one task).
+    Infeasible(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TimerOutOfRange { value, max } => {
+                write!(f, "timer value {value} exceeds the 16-bit register range (max {max})")
+            }
+            Error::LevelOutOfRange { value, max } => {
+                write!(f, "criticality level or mode {value} outside the valid range 1..={max}")
+            }
+            Error::UnknownCore { index, cores } => {
+                write!(f, "core index {index} out of range for a {cores}-core system")
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Codec(msg) => write!(f, "trace codec error: {msg}"),
+            Error::Infeasible(msg) => write!(f, "no feasible timer configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let cases = [
+            Error::TimerOutOfRange { value: 70000, max: 65535 },
+            Error::LevelOutOfRange { value: 9, max: 5 },
+            Error::UnknownCore { index: 7, cores: 4 },
+            Error::InvalidConfig("zero cores".into()),
+            Error::Codec("truncated input".into()),
+            Error::Infeasible("core 0 requirement too tight".into()),
+        ];
+        for err in cases {
+            let s = err.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'), "no trailing punctuation: {s}");
+            assert!(s.chars().next().unwrap().is_lowercase(), "lowercase start: {s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Error>();
+    }
+}

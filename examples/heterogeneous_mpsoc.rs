@@ -1,0 +1,96 @@
+//! Heterogeneous MPSoC sharing (the paper's Challenge 1): two latency-
+//! sensitive real-time cores coexist with two throughput-oriented
+//! accelerator-style cores that stream a shared buffer. Time-based
+//! coherence suits the streaming cores (they batch hits on lines before
+//! giving them up); MSI suits the latency-sensitive cores. CoHoRT runs both
+//! protocols in the same coherent system — this example compares the
+//! heterogeneous configuration against forcing a single protocol on
+//! everyone.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_mpsoc
+//! ```
+
+use cohort::{run_experiment, Protocol, SystemSpec};
+use cohort_trace::{Trace, TraceOp, Workload};
+use cohort_types::{Criticality, TimerValue};
+
+fn workload() -> Workload {
+    // c0/c1: latency-sensitive control loops — short private bursts plus
+    // constant polling of both streamers' output buffers (GetS snoops that
+    // demote the producers' Modified lines).
+    let control = |base: u64, poll: u64| -> Trace {
+        let mut ops = Vec::new();
+        for i in 0..500u64 {
+            ops.push(TraceOp::store(base + i % 16).after(6));
+            ops.push(TraceOp::load(base + i % 16).after(2));
+            ops.push(TraceOp::load(0x40 + (i + poll) % 12).after(2));
+            ops.push(TraceOp::load(0x50 + (i + poll) % 12).after(2));
+        }
+        Trace::from_ops(ops)
+    };
+    // c2/c3: streaming producers — read-modify-write bursts over their own
+    // output buffers (classic accelerator shape). Under MSI every consumer
+    // poll demotes the producer's line, turning the burst's second write
+    // into an upgrade miss; a timer holds the line through the burst.
+    let streamer = |base: u64| -> Trace {
+        let mut ops = Vec::new();
+        for i in 0..250u64 {
+            let line = base + i % 12;
+            ops.push(TraceOp::store(line).after(4));
+            ops.push(TraceOp::load(line).after(3));
+            ops.push(TraceOp::store(line).after(3));
+            ops.push(TraceOp::load(line).after(3));
+        }
+        Trace::from_ops(ops)
+    };
+    Workload::new(
+        "mpsoc",
+        vec![control(0x1000, 0), control(0x2000, 6), streamer(0x40), streamer(0x50)],
+    )
+    .expect("non-empty")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = SystemSpec::builder()
+        .core(Criticality::new(2)?)
+        .core(Criticality::new(2)?)
+        .core(Criticality::new(1)?)
+        .core(Criticality::new(1)?)
+        .build()?;
+    let w = workload();
+
+    let configurations = [
+        (
+            "heterogeneous (CoHoRT): CPUs MSI, streamers timed",
+            vec![
+                TimerValue::MSI,
+                TimerValue::MSI,
+                TimerValue::timed(30)?,
+                TimerValue::timed(30)?,
+            ],
+        ),
+        ("uniform snooping: everyone MSI", vec![TimerValue::MSI; 4]),
+        ("uniform time-based: everyone θ = 30", vec![TimerValue::timed(30)?; 4]),
+    ];
+
+    println!("{:<52} {:>10} {:>12} {:>14}", "configuration", "exec time", "c0 WCL obs", "c2+c3 hits");
+    for (name, timers) in configurations {
+        let outcome = run_experiment(&spec, &Protocol::Cohort { timers }, &w)?;
+        outcome.check_soundness().map_err(std::io::Error::other)?;
+        println!(
+            "{:<52} {:>10} {:>12} {:>14}",
+            name,
+            outcome.execution_time(),
+            outcome.stats.cores[0].worst_request.get(),
+            outcome.stats.cores[2].hits + outcome.stats.cores[3].hits,
+        );
+    }
+    println!();
+    println!("The heterogeneous configuration finishes fastest: the streamers keep");
+    println!("the burst hits their timers protect (uniform MSI loses them to the");
+    println!("consumers' polls), while the control cores avoid the timer-induced");
+    println!("stalls a uniform time-based system would impose on their polls — the");
+    println!("motivation for combining both protocol families in one system (§III-A).");
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Reproduction package re-exports.
+pub use cohort;

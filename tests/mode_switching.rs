@@ -1,0 +1,116 @@
+//! End-to-end mode switching (§VI, Figure 7): the offline LUT flow, the
+//! run-time controller, and the hardware timer-register switch in the
+//! simulator all compose.
+
+use cohort::{configure_modes, ModeController, ModeDecision, Protocol, SystemSpec};
+use cohort_optim::GaConfig;
+use cohort_sim::Simulator;
+use cohort_trace::{Kernel, KernelSpec};
+use cohort_types::{CoreId, Criticality, Cycles, Mode};
+
+fn paper_spec() -> SystemSpec {
+    SystemSpec::builder()
+        .core(Criticality::new(4).unwrap())
+        .core(Criticality::new(3).unwrap())
+        .core(Criticality::new(2).unwrap())
+        .core(Criticality::new(1).unwrap())
+        .build()
+        .unwrap()
+}
+
+fn quick_ga() -> GaConfig {
+    GaConfig { population: 10, generations: 5, ..Default::default() }
+}
+
+#[test]
+fn figure7_narrative_reproduces() {
+    let spec = paper_spec();
+    let workload = KernelSpec::new(Kernel::Fft, 4).with_total_requests(4_000).generate();
+    let config = configure_modes(&spec, &workload, &quick_ga()).unwrap();
+
+    let c0 = CoreId::new(0);
+    let bound = |m: u32| {
+        config.wcml_bound(c0, Mode::new(m).unwrap()).unwrap().unwrap().get()
+    };
+    // Bounds tighten as interferers degrade to MSI.
+    let bounds: Vec<u64> = (1..=4).map(bound).collect();
+    for w in bounds.windows(2) {
+        assert!(w[1] <= w[0], "bounds must be non-increasing: {bounds:?}");
+    }
+    assert!(bounds[3] < bounds[0], "mode 4 must be strictly tighter than mode 1");
+
+    // Stage 1: fits mode 1. Stage 2: between mode-3 and mode-2 bounds
+    // (double escalation). Stage 3: between mode-4 and mode-3 bounds.
+    let mut controller = ModeController::new(config);
+    let d1 = controller.requirement_changed(c0, Cycles::new(bounds[0] + 1)).unwrap();
+    assert_eq!(d1, ModeDecision::Stay(Mode::NORMAL));
+
+    let gamma2 = (bounds[1] + bounds[2]) / 2;
+    let d2 = controller.requirement_changed(c0, Cycles::new(gamma2)).unwrap();
+    assert_eq!(d2, ModeDecision::Escalate(Mode::new(3).unwrap()), "mode 2 is skipped");
+
+    let gamma3 = (bounds[2] + bounds[3]) / 2;
+    let d3 = controller.requirement_changed(c0, Cycles::new(gamma3)).unwrap();
+    assert_eq!(d3, ModeDecision::Escalate(Mode::new(4).unwrap()));
+
+    // Without mode switching (mode 1's bound) stages 2 and 3 would be
+    // unschedulable.
+    assert!(bounds[0] > gamma2 && bounds[0] > gamma3);
+
+    // Beyond mode 4 nothing helps.
+    let d4 = controller.requirement_changed(c0, Cycles::new(bounds[3] / 100)).unwrap();
+    assert_eq!(d4, ModeDecision::Unschedulable);
+    assert_eq!(controller.current().index(), 4, "mode unchanged on failure");
+}
+
+#[test]
+fn lut_timers_are_sound_in_simulation_per_mode() {
+    let spec = paper_spec();
+    let workload = KernelSpec::new(Kernel::Water, 4).with_total_requests(3_000).generate();
+    let config = configure_modes(&spec, &workload, &quick_ga()).unwrap();
+    for entry in &config.entries {
+        let timers = config.lut.timers_for(entry.mode).unwrap().to_vec();
+        let outcome =
+            cohort::run_experiment(&spec, &Protocol::Cohort { timers }, &workload).unwrap();
+        outcome
+            .check_soundness()
+            .unwrap_or_else(|e| panic!("mode {}: {e}", entry.mode));
+    }
+}
+
+#[test]
+fn hardware_switch_mid_run_matches_lut_semantics() {
+    // Re-program the θ registers mid-run (the §VI hardware mechanism) and
+    // check that the system completes with sound coherence state and that
+    // post-switch behaviour matches the degraded mode: the degraded cores'
+    // L1 lines stop being timer-protected.
+    let spec = paper_spec();
+    let workload = KernelSpec::new(Kernel::Fft, 4).with_total_requests(3_000).generate();
+    let config = configure_modes(&spec, &workload, &quick_ga()).unwrap();
+    let m1 = config.lut.timers_for(Mode::new(1).unwrap()).unwrap().to_vec();
+    let m4 = config.lut.timers_for(Mode::new(4).unwrap()).unwrap().to_vec();
+
+    let sim_config = Protocol::Cohort { timers: m1 }.sim_config(&spec).unwrap();
+    let mut sim = Simulator::new(sim_config, &workload).unwrap();
+    sim.schedule_timer_switch(Cycles::new(20_000), m4.clone()).unwrap();
+    let stats = sim.run().unwrap();
+    sim.validate_coherence().unwrap();
+    assert_eq!(sim.timers(), m4.as_slice(), "registers hold the mode-4 row");
+    for (core, trace) in stats.cores.iter().zip(workload.traces()) {
+        assert_eq!(core.accesses(), trace.len() as u64, "no task was suspended");
+    }
+}
+
+#[test]
+fn two_level_system_has_two_modes() {
+    let spec = SystemSpec::builder()
+        .core(Criticality::new(2).unwrap())
+        .core(Criticality::new(1).unwrap())
+        .build()
+        .unwrap();
+    let workload = KernelSpec::new(Kernel::Lu, 2).with_total_requests(1_500).generate();
+    let config = configure_modes(&spec, &workload, &quick_ga()).unwrap();
+    assert_eq!(config.lut.modes(), 2);
+    assert_eq!(config.lut.bits_per_core(), 32);
+    assert!(config.lut.timers_for(Mode::new(2).unwrap()).unwrap()[1].is_msi());
+}

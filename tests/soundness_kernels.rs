@@ -1,0 +1,131 @@
+//! End-to-end soundness across every kernel and criticality configuration:
+//! the measured WCML and per-request latencies must never exceed the
+//! analytical bounds, and guaranteed hits must materialise. This is the
+//! obligation behind Figure 5's "experimental under analytical" claim.
+
+use cohort::{run_experiment, Protocol, SystemSpec};
+use cohort_optim::{solve, GaConfig, TimerProblem};
+use cohort_trace::{Kernel, KernelSpec, Workload};
+use cohort_types::{Criticality, TimerValue};
+
+fn spec(critical: &[bool]) -> SystemSpec {
+    let mut b = SystemSpec::builder();
+    for &c in critical {
+        b = b.core(Criticality::new(if c { 2 } else { 1 }).unwrap());
+    }
+    b.build().unwrap()
+}
+
+fn small_kernel(kernel: Kernel) -> Workload {
+    KernelSpec::new(kernel, 4).with_total_requests(2_400).generate()
+}
+
+fn quick_ga() -> GaConfig {
+    GaConfig { population: 10, generations: 4, ..Default::default() }
+}
+
+fn optimized_timers(workload: &Workload, critical: &[bool]) -> Vec<TimerValue> {
+    let mut builder = TimerProblem::builder(workload);
+    for (i, &c) in critical.iter().enumerate() {
+        if c {
+            builder = builder.timed(i, None);
+        }
+    }
+    let problem = builder.build().unwrap();
+    let outcome = solve(&problem, &quick_ga());
+    problem.timers_from_genes(&outcome.best)
+}
+
+#[test]
+fn cohort_bounds_hold_on_every_kernel_and_config() {
+    for critical in [
+        vec![true, true, true, true],
+        vec![true, true, false, false],
+        vec![true, false, false, false],
+    ] {
+        let s = spec(&critical);
+        for kernel in Kernel::ALL {
+            let w = small_kernel(kernel);
+            let timers = optimized_timers(&w, &critical);
+            let outcome =
+                run_experiment(&s, &Protocol::Cohort { timers }, &w).unwrap();
+            outcome
+                .check_soundness()
+                .unwrap_or_else(|e| panic!("{kernel} / {critical:?}: {e}"));
+            // Guaranteed hits materialise in the real run.
+            let bounds = outcome.bounds.as_ref().unwrap();
+            for (i, (core, bound)) in outcome.stats.cores.iter().zip(bounds).enumerate() {
+                assert!(
+                    core.hits >= bound.hits,
+                    "{kernel} core {i}: measured {} < guaranteed {}",
+                    core.hits,
+                    bound.hits
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pcc_bounds_hold_on_every_kernel() {
+    let s = spec(&[true; 4]);
+    for kernel in Kernel::ALL {
+        let w = small_kernel(kernel);
+        let outcome = run_experiment(&s, &Protocol::Pcc, &w).unwrap();
+        outcome.check_soundness().unwrap_or_else(|e| panic!("{kernel}: {e}"));
+    }
+}
+
+#[test]
+fn pendulum_bounds_hold_on_every_kernel() {
+    for critical in [vec![true; 4], vec![true, true, false, false]] {
+        let s = spec(&critical);
+        for kernel in Kernel::ALL {
+            let w = small_kernel(kernel);
+            let outcome = run_experiment(
+                &s,
+                &Protocol::Pendulum { critical: critical.clone(), theta: 300 },
+                &w,
+            )
+            .unwrap();
+            outcome.check_soundness().unwrap_or_else(|e| panic!("{kernel}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn msi_bound_holds_and_counts_no_hits() {
+    let s = spec(&[true; 4]);
+    let w = small_kernel(Kernel::Radix);
+    let outcome = run_experiment(&s, &Protocol::Msi, &w).unwrap();
+    outcome.check_soundness().unwrap();
+    let bounds = outcome.bounds.as_ref().unwrap();
+    assert!(bounds.iter().all(|b| b.hits == 0), "Eq. 3 assumes all misses");
+}
+
+#[test]
+fn analytical_ordering_cohort_pcc_pendulum() {
+    // The Figure-5 ordering on every kernel: CoHoRT's bound is tightest,
+    // PENDULUM's loosest, for the critical cores.
+    let critical = vec![true, true, false, false];
+    let s = spec(&critical);
+    for kernel in Kernel::ALL {
+        let w = small_kernel(kernel);
+        let timers = optimized_timers(&w, &critical);
+        let cohort = run_experiment(&s, &Protocol::Cohort { timers }, &w).unwrap();
+        let pcc = run_experiment(&s, &Protocol::Pcc, &w).unwrap();
+        let pendulum = run_experiment(
+            &s,
+            &Protocol::Pendulum { critical: critical.clone(), theta: 300 },
+            &w,
+        )
+        .unwrap();
+        for core in 0..2 {
+            let c = cohort.bounds.as_ref().unwrap()[core].wcml.unwrap();
+            let p = pcc.bounds.as_ref().unwrap()[core].wcml.unwrap();
+            let n = pendulum.bounds.as_ref().unwrap()[core].wcml.unwrap();
+            assert!(c <= p, "{kernel} core {core}: CoHoRT {c} > PCC {p}");
+            assert!(p < n, "{kernel} core {core}: PCC {p} ≥ PENDULUM {n}");
+        }
+    }
+}
