@@ -30,9 +30,9 @@ fn main() {
             let line = rng.gen_range(0..lines);
             let style = rng.gen_range(0..3);
             let gap = match style {
-                0 => rng.gen_range(1..=4),                        // burst
-                1 => theta.saturating_sub(rng.gen_range(0..=6)),  // near boundary
-                _ => theta + rng.gen_range(0..=6),                // just past
+                0 => rng.gen_range(1..=4),                       // burst
+                1 => theta.saturating_sub(rng.gen_range(0..=6)), // near boundary
+                _ => theta + rng.gen_range(0..=6),               // just past
             };
             let store = rng.gen_bool(0.4);
             ops.push(TraceOp::new(
@@ -55,7 +55,11 @@ fn main() {
                         2 => theta,
                         _ => rng.gen_range(1..=2 * theta + 8),
                     };
-                    ops.push(TraceOp::new(LineAddr::new(line), AccessKind::Store, Cycles::new(gap)));
+                    ops.push(TraceOp::new(
+                        LineAddr::new(line),
+                        AccessKind::Store,
+                        Cycles::new(gap),
+                    ));
                 }
                 Trace::from_ops(ops)
             })

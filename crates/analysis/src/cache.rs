@@ -1,0 +1,314 @@
+//! Memoized analysis results, shared across threads.
+//!
+//! The guaranteed-hit analysis walks the whole trace per (θ, latency)
+//! query, and the workloads that drive the GA and the batch sweeps ask for
+//! the same curves over and over: every GA generation re-evaluates
+//! candidate timers against the same traces, every protocol sweep re-runs
+//! the θ-saturation search for the same kernels, and parallel sweep
+//! workers repeat each other's work. [`AnalysisCache`] memoizes both
+//! queries behind `RwLock`ed maps — lookups take the read lock only, so
+//! concurrent sweep workers share results without serialising on hits.
+//!
+//! Keys are *content* keys: the trace enters as its 128-bit
+//! [`Trace::fingerprint`], alongside the timer, cache geometry and the two
+//! latencies that shape the virtual timeline. Identical inputs therefore
+//! hit the cache no matter which `Trace` allocation they arrive through,
+//! and the memoized results are bit-identical to the uncached analysis by
+//! construction (the cached value *is* the uncached function's output).
+//!
+//! A process-wide instance is available through [`analysis_cache`]; the
+//! optimization engine and `analyze_cohort` route through it by default.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+use cohort_sim::CacheGeometry;
+use cohort_trace::Trace;
+use cohort_types::{Cycles, TimerValue};
+
+use crate::isolation::{guaranteed_hits, saturation_search, HitMissCounts};
+
+/// Key of one guaranteed-hit query: everything the result depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct HitKey {
+    trace: u128,
+    timer: TimerValue,
+    geometry: CacheGeometry,
+    hit_latency: Cycles,
+    miss_penalty: Cycles,
+}
+
+/// Key of one θ-saturation query (no timer: the search spans all of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SatKey {
+    trace: u128,
+    geometry: CacheGeometry,
+    hit_latency: Cycles,
+    miss_penalty: Cycles,
+}
+
+/// Hit/lookup counters of an [`AnalysisCache`], for observability.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered (hits + misses).
+    pub lookups: u64,
+    /// Queries answered from the memo without re-running the analysis.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` (0 before the first lookup).
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// A thread-safe memo of guaranteed-hit and θ-saturation results.
+///
+/// Reads take a shared lock; only a first-time computation takes the write
+/// lock, briefly, to publish its result. Two threads racing on the same
+/// cold key may both compute it — the function is deterministic, so the
+/// duplicate insert is harmless and cheaper than holding a lock across the
+/// trace walk.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    hits: RwLock<HashMap<HitKey, HitMissCounts>>,
+    saturation: RwLock<HashMap<SatKey, u64>>,
+    lookups: AtomicU64,
+    served: AtomicU64,
+}
+
+impl AnalysisCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memoized [`guaranteed_hits`]: identical signature, identical result.
+    ///
+    /// Fingerprints the trace on every call; when the caller queries the
+    /// same trace many times (GA fitness loops), precompute the
+    /// fingerprint once and use [`Self::guaranteed_hits_fp`].
+    #[must_use]
+    pub fn guaranteed_hits(
+        &self,
+        trace: &Trace,
+        timer: TimerValue,
+        geometry: &CacheGeometry,
+        hit_latency: Cycles,
+        miss_penalty: Cycles,
+    ) -> HitMissCounts {
+        self.guaranteed_hits_fp(
+            trace.fingerprint(),
+            trace,
+            timer,
+            geometry,
+            hit_latency,
+            miss_penalty,
+        )
+    }
+
+    /// Memoized [`guaranteed_hits`] with a precomputed trace fingerprint.
+    ///
+    /// The caller vouches that `fingerprint == trace.fingerprint()`; a
+    /// stale fingerprint silently returns the *other* trace's counts.
+    #[must_use]
+    pub fn guaranteed_hits_fp(
+        &self,
+        fingerprint: u128,
+        trace: &Trace,
+        timer: TimerValue,
+        geometry: &CacheGeometry,
+        hit_latency: Cycles,
+        miss_penalty: Cycles,
+    ) -> HitMissCounts {
+        let key =
+            HitKey { trace: fingerprint, timer, geometry: *geometry, hit_latency, miss_penalty };
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(&counts) = self.hits.read().expect("not poisoned").get(&key) {
+            self.served.fetch_add(1, Ordering::Relaxed);
+            return counts;
+        }
+        let counts = guaranteed_hits(trace, timer, geometry, hit_latency, miss_penalty);
+        self.hits.write().expect("not poisoned").insert(key, counts);
+        counts
+    }
+
+    /// Memoized [`crate::theta_saturation`]: identical signature and result.
+    ///
+    /// The binary search's individual θ probes go through the guaranteed-
+    /// hit memo, so a saturation search also pre-warms the hit curve that
+    /// later per-θ queries (GA seeds, sweeps) will ask for.
+    #[must_use]
+    pub fn theta_saturation(
+        &self,
+        trace: &Trace,
+        geometry: &CacheGeometry,
+        hit_latency: Cycles,
+        miss_penalty: Cycles,
+    ) -> u64 {
+        self.theta_saturation_fp(trace.fingerprint(), trace, geometry, hit_latency, miss_penalty)
+    }
+
+    /// Memoized θ-saturation with a precomputed trace fingerprint.
+    #[must_use]
+    pub fn theta_saturation_fp(
+        &self,
+        fingerprint: u128,
+        trace: &Trace,
+        geometry: &CacheGeometry,
+        hit_latency: Cycles,
+        miss_penalty: Cycles,
+    ) -> u64 {
+        let key = SatKey { trace: fingerprint, geometry: *geometry, hit_latency, miss_penalty };
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(&sat) = self.saturation.read().expect("not poisoned").get(&key) {
+            self.served.fetch_add(1, Ordering::Relaxed);
+            return sat;
+        }
+        let sat = saturation_search(|theta| {
+            self.guaranteed_hits_fp(
+                fingerprint,
+                trace,
+                TimerValue::timed(theta).expect("θ within register range"),
+                geometry,
+                hit_latency,
+                miss_penalty,
+            )
+            .hits
+        });
+        self.saturation.write().expect("not poisoned").insert(key, sat);
+        sat
+    }
+
+    /// Lookup/hit counters since creation (or the last [`Self::clear`]).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.served.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of memoized entries across both maps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hits.read().expect("not poisoned").len()
+            + self.saturation.read().expect("not poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every memoized entry and resets the counters.
+    pub fn clear(&self) {
+        self.hits.write().expect("not poisoned").clear();
+        self.saturation.write().expect("not poisoned").clear();
+        self.lookups.store(0, Ordering::Relaxed);
+        self.served.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide analysis cache.
+///
+/// Shared by the optimization engine's fitness evaluations, the whole-
+/// system analyses and every batch-sweep worker; entries live for the
+/// process lifetime (bounded in practice by the handful of traces ×
+/// probed θ values a run touches). Call [`AnalysisCache::clear`] to drop
+/// them, e.g. between unrelated benchmark phases.
+#[must_use]
+pub fn analysis_cache() -> &'static AnalysisCache {
+    static CACHE: OnceLock<AnalysisCache> = OnceLock::new();
+    CACHE.get_or_init(AnalysisCache::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theta_saturation;
+    use cohort_trace::{Kernel, KernelSpec};
+
+    const L1: CacheGeometry = CacheGeometry::paper_l1();
+    const HIT: Cycles = Cycles::new(1);
+    const PENALTY: Cycles = Cycles::new(216);
+
+    fn kernel_trace() -> Trace {
+        let w = KernelSpec::new(Kernel::Fft, 2).with_total_requests(2_000).generate();
+        w.traces()[0].clone()
+    }
+
+    #[test]
+    fn memoized_hits_match_cold_analysis_exactly() {
+        let trace = kernel_trace();
+        let cache = AnalysisCache::new();
+        for theta in [1u64, 24, 300, 4_096, u64::from(u16::MAX)] {
+            let timer = TimerValue::timed(theta).unwrap();
+            let cold = guaranteed_hits(&trace, timer, &L1, HIT, PENALTY);
+            let first = cache.guaranteed_hits(&trace, timer, &L1, HIT, PENALTY);
+            let memoized = cache.guaranteed_hits(&trace, timer, &L1, HIT, PENALTY);
+            assert_eq!(cold, first);
+            assert_eq!(cold, memoized);
+        }
+        let s = cache.stats();
+        assert_eq!(s.lookups, 10);
+        assert_eq!(s.hits, 5);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memoized_saturation_matches_cold_analysis_exactly() {
+        let trace = kernel_trace();
+        let cache = AnalysisCache::new();
+        let cold = theta_saturation(&trace, &L1, HIT, PENALTY);
+        assert_eq!(cache.theta_saturation(&trace, &L1, HIT, PENALTY), cold);
+        // Second query is a pure memo hit (one lookup, no probes).
+        let before = cache.stats().lookups;
+        assert_eq!(cache.theta_saturation(&trace, &L1, HIT, PENALTY), cold);
+        assert_eq!(cache.stats().lookups, before + 1);
+    }
+
+    #[test]
+    fn distinct_parameters_get_distinct_entries() {
+        let trace = kernel_trace();
+        let cache = AnalysisCache::new();
+        let t24 = TimerValue::timed(24).unwrap();
+        let a = cache.guaranteed_hits(&trace, t24, &L1, HIT, PENALTY);
+        let b = cache.guaranteed_hits(&trace, t24, &L1, HIT, Cycles::new(500));
+        assert_eq!(a, guaranteed_hits(&trace, t24, &L1, HIT, PENALTY));
+        assert_eq!(b, guaranteed_hits(&trace, t24, &L1, HIT, Cycles::new(500)));
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_cache() {
+        let trace = kernel_trace();
+        let cache = AnalysisCache::new();
+        let t = TimerValue::timed(64).unwrap();
+        let expected = guaranteed_hits(&trace, t, &L1, HIT, PENALTY);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        assert_eq!(cache.guaranteed_hits(&trace, t, &L1, HIT, PENALTY), expected);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats().lookups, 32);
+        // Every lookup after the racy first computations is a memo hit.
+        assert!(cache.stats().hits >= 32 - 4);
+    }
+}

@@ -32,8 +32,8 @@
 //! soundness property tests.
 
 use cohort_sim::{CacheGeometry, SetAssocCache};
-use cohort_types::{Cycles, TimerValue};
 use cohort_trace::Trace;
+use cohort_types::{Cycles, TimerValue};
 
 /// Result of the guaranteed-hit analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -107,9 +107,9 @@ pub fn guaranteed_hits(
     let mut now = Cycles::ZERO;
     for op in trace.iter() {
         now += op.gap;
-        let in_window = cache.peek(op.line).map(|l| {
-            (now.get() - l.fill.get()) < theta && (!op.kind.is_store() || l.modified)
-        });
+        let in_window = cache
+            .peek(op.line)
+            .map(|l| (now.get() - l.fill.get()) < theta && (!op.kind.is_store() || l.modified));
         match in_window {
             Some(true) => {
                 counts.hits += 1;
@@ -158,8 +158,7 @@ pub fn theta_saturation(
     hit_latency: Cycles,
     miss_penalty: Cycles,
 ) -> u64 {
-    let max_theta = TimerValue::MAX_THETA;
-    let hits_at = |theta: u64| {
+    saturation_search(|theta| {
         guaranteed_hits(
             trace,
             TimerValue::timed(theta).expect("θ within register range"),
@@ -168,7 +167,15 @@ pub fn theta_saturation(
             miss_penalty,
         )
         .hits
-    };
+    })
+}
+
+/// Binary search for the smallest θ whose guaranteed-hit count equals the
+/// count at `MAX_THETA`, given a probe function. Shared between the plain
+/// [`theta_saturation`] and the memoized variant in [`crate::cache`], so
+/// both issue the identical probe sequence (and therefore agree exactly).
+pub(crate) fn saturation_search(mut hits_at: impl FnMut(u64) -> u64) -> u64 {
+    let max_theta = TimerValue::MAX_THETA;
     let saturated = hits_at(max_theta);
     if hits_at(1) == saturated {
         return 1;
@@ -236,11 +243,8 @@ mod tests {
     #[test]
     fn conflict_evictions_are_respected() {
         // Lines 0 and 256 conflict in the direct-mapped L1.
-        let trace = Trace::from_ops(vec![
-            TraceOp::load(0),
-            TraceOp::load(256),
-            TraceOp::load(0).after(1),
-        ]);
+        let trace =
+            Trace::from_ops(vec![TraceOp::load(0), TraceOp::load(256), TraceOp::load(0).after(1)]);
         let counts = guaranteed_hits(&trace, timed(60_000), &L1, HIT, PENALTY);
         assert_eq!(counts.hits, 0);
         assert_eq!(counts.misses, 3);
@@ -269,11 +273,11 @@ mod tests {
         let trace = &w.traces()[0];
         let sat = theta_saturation(trace, &L1, HIT, Cycles::new(54));
         let at_sat = guaranteed_hits(trace, timed(sat), &L1, HIT, Cycles::new(54)).hits;
-        let beyond = guaranteed_hits(trace, timed(TimerValue::MAX_THETA), &L1, HIT, Cycles::new(54)).hits;
+        let beyond =
+            guaranteed_hits(trace, timed(TimerValue::MAX_THETA), &L1, HIT, Cycles::new(54)).hits;
         assert_eq!(at_sat, beyond);
         if sat > 1 {
-            let below =
-                guaranteed_hits(trace, timed(sat - 1), &L1, HIT, Cycles::new(54)).hits;
+            let below = guaranteed_hits(trace, timed(sat - 1), &L1, HIT, Cycles::new(54)).hits;
             assert!(below < at_sat, "θ_sat must be minimal");
         }
     }

@@ -19,7 +19,10 @@
 //!   baselines of the evaluation (Figure 5), derived with the same
 //!   methodology against this repository's bus model;
 //! - [`analyze_cohort`], [`analyze_pcc`], [`analyze_pendulum`] — whole-
-//!   system analyses pairing each core with its WCML bound.
+//!   system analyses pairing each core with its WCML bound;
+//! - [`AnalysisCache`] / [`analysis_cache`] — a process-wide memo of
+//!   guaranteed-hit and θ-saturation results keyed on trace fingerprints,
+//!   shared by the optimization engine and parallel sweep workers.
 //!
 //! # Examples
 //!
@@ -43,12 +46,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod isolation;
 mod rta;
 mod system;
 mod wcl;
 mod wcml;
 
+pub use cache::{analysis_cache, AnalysisCache, CacheStats};
 pub use isolation::{guaranteed_hits, theta_saturation, HitMissCounts};
 pub use rta::{is_schedulable, max_affordable_wcml, response_times, PeriodicTask};
 pub use system::{analyze_cohort, analyze_pcc, analyze_pendulum, CoreBound, PendulumParams};

@@ -35,12 +35,7 @@ impl PeriodicTask {
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] if the period is zero.
-    pub fn new(
-        name: impl Into<String>,
-        period: u64,
-        compute: u64,
-        wcml: u64,
-    ) -> Result<Self> {
+    pub fn new(name: impl Into<String>, period: u64, compute: u64, wcml: u64) -> Result<Self> {
         if period == 0 {
             return Err(Error::InvalidConfig("a task period must be positive".into()));
         }
@@ -101,10 +96,8 @@ pub fn response_times(tasks: &[PeriodicTask]) -> Result<Vec<Option<Cycles>>> {
             if r > task.period.get() {
                 break None; // deadline (= period) missed
             }
-            let interference: u64 = tasks[..i]
-                .iter()
-                .map(|hp| r.div_ceil(hp.period.get()) * hp.wcet().get())
-                .sum();
+            let interference: u64 =
+                tasks[..i].iter().map(|hp| r.div_ceil(hp.period.get()) * hp.wcet().get()).sum();
             let next = own + interference;
             if next == r {
                 break Some(Cycles::new(r));
@@ -150,10 +143,7 @@ pub fn is_schedulable(tasks: &[PeriodicTask]) -> Result<bool> {
 ///
 /// Returns [`Error::UnknownCore`] for an out-of-range index and
 /// [`Error::InvalidConfig`] for an empty set.
-pub fn max_affordable_wcml(
-    tasks: &mut [PeriodicTask],
-    index: usize,
-) -> Result<Option<Cycles>> {
+pub fn max_affordable_wcml(tasks: &mut [PeriodicTask], index: usize) -> Result<Option<Cycles>> {
     if index >= tasks.len() {
         return Err(Error::UnknownCore { index, cores: tasks.len() });
     }

@@ -2,10 +2,10 @@
 //! evaluation baselines.
 
 use cohort_sim::{CacheGeometry, LlcModel};
-use cohort_types::{Cycles, Error, LatencyConfig, Result, TimerValue};
 use cohort_trace::Workload;
+use cohort_types::{Cycles, Error, LatencyConfig, Result, TimerValue};
 
-use crate::{guaranteed_hits, wcl_miss, wcl_pcc, wcl_pendulum, wcml_snoop, wcml_timed};
+use crate::{analysis_cache, wcl_miss, wcl_pcc, wcl_pendulum, wcml_snoop, wcml_timed};
 
 /// Analysis result for one core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,7 +90,11 @@ pub fn analyze_cohort(
         .map(|(i, trace)| {
             let wcl = wcl_miss(i, timers, latency);
             if timers[i].is_timed() && llc.is_perfect() {
-                let counts = guaranteed_hits(trace, timers[i], l1, latency.hit, wcl);
+                // Routed through the process-wide memo: repeated analyses
+                // of the same (trace, θ, latency) — e.g. across the jobs
+                // of a batch sweep — walk the trace only once.
+                let counts =
+                    analysis_cache().guaranteed_hits(trace, timers[i], l1, latency.hit, wcl);
                 CoreBound {
                     hits: counts.hits,
                     misses: counts.misses,
@@ -243,7 +247,9 @@ mod tests {
         let w = KernelSpec::new(Kernel::Ocean, 4).with_total_requests(8_000).generate();
         let timers = vec![TimerValue::timed(40).unwrap(); 4];
         let lat = LatencyConfig::paper();
-        let cohort = analyze_cohort(&w, &timers, &lat, &CacheGeometry::paper_l1(), &LlcModel::Perfect).unwrap();
+        let cohort =
+            analyze_cohort(&w, &timers, &lat, &CacheGeometry::paper_l1(), &LlcModel::Perfect)
+                .unwrap();
         let pcc = analyze_pcc(&w, &lat);
         for (c, p) in cohort.iter().zip(&pcc) {
             assert!(c.hits > 0, "tight reuse must yield guaranteed hits");
@@ -260,7 +266,9 @@ mod tests {
         let w = KernelSpec::new(Kernel::Water, 4).with_total_requests(8_000).generate();
         let timers = vec![TimerValue::timed(20).unwrap(); 4];
         let lat = LatencyConfig::paper();
-        let cohort = analyze_cohort(&w, &timers, &lat, &CacheGeometry::paper_l1(), &LlcModel::Perfect).unwrap();
+        let cohort =
+            analyze_cohort(&w, &timers, &lat, &CacheGeometry::paper_l1(), &LlcModel::Perfect)
+                .unwrap();
         let pcc = analyze_pcc(&w, &lat);
         for (c, p) in cohort.iter().zip(&pcc) {
             assert!(c.wcml.unwrap() <= p.wcml.unwrap());
@@ -272,13 +280,12 @@ mod tests {
         let w = KernelSpec::new(Kernel::Fft, 4).with_total_requests(8_000).generate();
         let timers = vec![TimerValue::timed(50).unwrap(); 4];
         let lat = LatencyConfig::paper();
-        let cohort = analyze_cohort(&w, &timers, &lat, &CacheGeometry::paper_l1(), &LlcModel::Perfect).unwrap();
-        let pend = analyze_pendulum(
-            &w,
-            &PendulumParams { critical: vec![true; 4], theta: 300 },
-            &lat,
-        )
-        .unwrap();
+        let cohort =
+            analyze_cohort(&w, &timers, &lat, &CacheGeometry::paper_l1(), &LlcModel::Perfect)
+                .unwrap();
+        let pend =
+            analyze_pendulum(&w, &PendulumParams { critical: vec![true; 4], theta: 300 }, &lat)
+                .unwrap();
         for (c, p) in cohort.iter().zip(&pend) {
             assert!(p.wcml.unwrap() > c.wcml.unwrap() * 2);
         }

@@ -19,8 +19,8 @@ fn timed(theta: u64) -> TimerValue {
 /// Random small workloads with burst-shaped reuse so that guaranteed hits
 /// actually occur (pure random traces rarely re-touch a line in time).
 fn workload_strategy(cores: usize) -> impl Strategy<Value = Workload> {
-    let burst = (0u64..16, any::<bool>(), 1usize..5, 0u64..6).prop_map(
-        |(line, store, extra, gap)| {
+    let burst =
+        (0u64..16, any::<bool>(), 1usize..5, 0u64..6).prop_map(|(line, store, extra, gap)| {
             let mut ops = vec![TraceOp::new(
                 LineAddr::new(line),
                 if store { AccessKind::Store } else { AccessKind::Load },
@@ -30,8 +30,7 @@ fn workload_strategy(cores: usize) -> impl Strategy<Value = Workload> {
                 ops.push(TraceOp::new(LineAddr::new(line), AccessKind::Load, Cycles::new(1)));
             }
             ops
-        },
-    );
+        });
     proptest::collection::vec(proptest::collection::vec(burst, 1..25), cores..=cores).prop_map(
         |traces| {
             Workload::new(

@@ -19,15 +19,9 @@ fn sim_throughput(c: &mut Criterion) {
         ("msi_rrof", SimConfig::builder(4).build().unwrap()),
         (
             "cohort_timed",
-            SimConfig::builder(4)
-                .timers(vec![TimerValue::timed(30).unwrap(); 4])
-                .build()
-                .unwrap(),
+            SimConfig::builder(4).timers(vec![TimerValue::timed(30).unwrap(); 4]).build().unwrap(),
         ),
-        (
-            "pcc_staged",
-            SimConfig::builder(4).data_path(DataPath::ViaSharedMemory).build().unwrap(),
-        ),
+        ("pcc_staged", SimConfig::builder(4).data_path(DataPath::ViaSharedMemory).build().unwrap()),
         (
             "pendulum_tdm",
             SimConfig::builder(4)
@@ -91,9 +85,7 @@ fn ga_convergence(c: &mut Criterion) {
         let space = SearchSpace::new(vec![(0, 10_000); 4]);
         let ga = GeneticAlgorithm::new(space, GaConfig::default());
         b.iter(|| {
-            black_box(ga.run(|genes| {
-                genes.iter().map(|&g| (g as f64 - 5_000.0).powi(2)).sum()
-            }))
+            black_box(ga.run(|genes| genes.iter().map(|&g| (g as f64 - 5_000.0).powi(2)).sum()))
         })
     });
 }

@@ -114,9 +114,8 @@ fn fig7(c: &mut Criterion) {
             let mut controller = cohort::ModeController::new(config.clone());
             let c0 = cohort_types::CoreId::new(0);
             for gamma in [10_000_000u64, 400_000, 200_000] {
-                let _ = black_box(
-                    controller.requirement_changed(c0, cohort_types::Cycles::new(gamma)),
-                );
+                let _ =
+                    black_box(controller.requirement_changed(c0, cohort_types::Cycles::new(gamma)));
             }
         })
     });

@@ -13,9 +13,13 @@
 //! cargo run --release -p cohort-bench --bin ablations [-- --quick]
 //! ```
 
-use cohort::{run_experiment, Protocol};
-use cohort_bench::{bench_ga, optimize_cohort_timers, CliOptions, CritConfig};
-use cohort_sim::{ArbiterKind, CacheGeometry, DataPath, LlcModel, ProtocolFlavor, SimConfig, Simulator};
+use std::sync::Arc;
+
+use cohort::{ExperimentJob, Protocol, Sweep};
+use cohort_bench::{bench_ga, optimize_cohort_timers, CliOptions, ConsoleObserver, CritConfig};
+use cohort_sim::{
+    ArbiterKind, CacheGeometry, DataPath, LlcModel, ProtocolFlavor, SimConfig, Simulator,
+};
 use cohort_trace::{Kernel, KernelSpec, Workload};
 use cohort_types::{LatencyConfig, TimerValue};
 
@@ -40,11 +44,8 @@ fn main() {
         ("TDM (all critical)", ArbiterKind::Tdm { critical: vec![true; 4] }),
         ("FCFS (COTS)", ArbiterKind::Fcfs),
     ] {
-        let config = SimConfig::builder(4)
-            .timers(timers.clone())
-            .arbiter(arbiter)
-            .build()
-            .expect("valid");
+        let config =
+            SimConfig::builder(4).timers(timers.clone()).arbiter(arbiter).build().expect("valid");
         let (exec, worst) = run_config(config, &w);
         println!("{name:<22} {exec:>12} {worst:>22}");
     }
@@ -64,18 +65,29 @@ fn main() {
         let p = b.build().expect("problem");
         p.timers_from_genes(p.theta_saturations())
     };
-    println!(
-        "{:<28} {:>12} {:>14} {:>20}",
-        "policy", "exec time", "avg WCML bound", "timers"
-    );
-    for (name, t) in [
+    println!("{:<28} {:>12} {:>14} {:>20}", "policy", "exec time", "avg WCML bound", "timers");
+    // The four timer policies are independent jobs: run them as one sweep
+    // on the bounded pool (ConsoleObserver narrates progress on stderr).
+    let policies = [
         ("GA-optimized (ours)", optimized),
         ("uniform θ = 24", timers.clone()),
         ("saturation θ", saturated),
         ("all MSI (θ = -1)", vec![TimerValue::MSI; 4]),
-    ] {
-        let outcome =
-            run_experiment(&spec, &Protocol::Cohort { timers: t.clone() }, &w2).expect("runs");
+    ];
+    let shared = Arc::new(w2.clone());
+    let report = Sweep::builder()
+        .jobs(policies.iter().map(|(name, t)| {
+            ExperimentJob::new(
+                spec.clone(),
+                Protocol::Cohort { timers: t.clone() },
+                Arc::clone(&shared),
+            )
+            .with_label((*name).to_string())
+        }))
+        .build()
+        .run_observed(&ConsoleObserver);
+    let outcomes = report.into_outcomes().expect("runs");
+    for ((name, t), outcome) in policies.iter().zip(&outcomes) {
         let avg_bound: u64 = outcome
             .bounds
             .as_ref()
@@ -93,9 +105,10 @@ fn main() {
     }
 
     println!("\nAblation 3 — data path (all-MSI, RROF)");
-    for (name, path) in
-        [("cache-to-cache", DataPath::CacheToCache), ("via shared memory", DataPath::ViaSharedMemory)]
-    {
+    for (name, path) in [
+        ("cache-to-cache", DataPath::CacheToCache),
+        ("via shared memory", DataPath::ViaSharedMemory),
+    ] {
         let config = SimConfig::builder(4).data_path(path).build().expect("valid");
         let (exec, worst) = run_config(config, &w);
         println!("{name:<22} exec {exec:>12}  worst request {worst:>8}");
@@ -150,11 +163,8 @@ fn main() {
     for (name, flavor) in
         [("MSI (paper)", ProtocolFlavor::Msi), ("MESI (extension)", ProtocolFlavor::Mesi)]
     {
-        let config = SimConfig::builder(4)
-            .timers(timers.clone())
-            .flavor(flavor)
-            .build()
-            .expect("valid");
+        let config =
+            SimConfig::builder(4).timers(timers.clone()).flavor(flavor).build().expect("valid");
         let mut sim = Simulator::new(config, &rmw).expect("sim");
         let stats = sim.run().expect("runs");
         let hits: u64 = stats.cores.iter().map(|c| c.hits).sum();

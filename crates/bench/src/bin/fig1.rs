@@ -22,11 +22,7 @@ fn main() {
         ("(a) snoop-based (MSI)", TimerValue::MSI),
         ("(b) time-based (θ0 = 200)", TimerValue::timed(200).expect("small")),
     ] {
-        let config = SimConfig::builder(2)
-            .timer(0, timer)
-            .log_events(true)
-            .build()
-            .expect("valid");
+        let config = SimConfig::builder(2).timer(0, timer).log_events(true).build().expect("valid");
         let mut sim = Simulator::new(config, &workload).expect("sim");
         let stats = sim.run().expect("runs");
         println!("--- {label} ---");

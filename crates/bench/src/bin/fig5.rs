@@ -3,10 +3,13 @@
 //! criticality configurations.
 //!
 //! ```text
-//! cargo run --release -p cohort-bench --bin fig5 [-- --config all-cr] [--quick|--full]
+//! cargo run --release -p cohort-bench --bin fig5 [-- --config all-cr] [--quick|--full] [--json <path>]
 //! ```
 
-use cohort_bench::{bench_ga, geomean, kernels, sweep_protocols, CliOptions, CritConfig, CORES};
+use cohort_bench::{
+    bench_ga, geomean, json_report, kernels, run_to_json, sweep_protocols, write_json, CliOptions,
+    CritConfig, CORES,
+};
 
 fn main() {
     let options = CliOptions::parse(std::env::args());
@@ -14,6 +17,7 @@ fn main() {
         options.config.map_or_else(|| CritConfig::ALL.to_vec(), |c| vec![c]);
     let ga = bench_ga(options.quick);
     let workloads = kernels(CORES, options.full, options.quick);
+    let mut records = Vec::new();
 
     println!("Figure 5 — Total WCML: experimental (exp) and analytical (ana), cycles");
     println!("Log-scale bars in the paper; raw cycle counts here.\n");
@@ -22,7 +26,13 @@ fn main() {
         println!("=== Fig. 5{} — {} ===", config.subfigure(), config.label());
         println!(
             "{:<8} {:>4}  {:>12} {:>12}  {:>12} {:>12}  {:>12} {:>12}",
-            "kernel", "core", "CoHoRT exp", "CoHoRT ana", "PCC exp", "PCC ana", "PEND exp",
+            "kernel",
+            "core",
+            "CoHoRT exp",
+            "CoHoRT ana",
+            "PCC exp",
+            "PCC ana",
+            "PEND exp",
             "PEND ana"
         );
         let mask = config.critical_mask();
@@ -30,6 +40,7 @@ fn main() {
         let mut pend_ratios = Vec::new();
         for workload in &workloads {
             let runs = sweep_protocols(config, workload, &ga).expect("sweep succeeds");
+            records.extend(runs.iter().map(|run| run_to_json(config, run)));
             let (cohort, pcc, pendulum) = (&runs[0].outcome, &runs[1].outcome, &runs[2].outcome);
             for outcome in [cohort, pcc, pendulum] {
                 outcome.check_soundness().expect("bounds dominate measurements");
@@ -81,5 +92,10 @@ fn main() {
             );
         }
         println!();
+    }
+
+    if let Some(path) = &options.json {
+        write_json(path, &json_report("fig5", records)).expect("writable --json path");
+        println!("wrote machine-readable results to {}", path.display());
     }
 }

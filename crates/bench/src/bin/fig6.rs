@@ -2,10 +2,13 @@
 //! and PENDULUM, normalized against standard MSI with a COTS FCFS arbiter.
 //!
 //! ```text
-//! cargo run --release -p cohort-bench --bin fig6 [-- --config all-cr] [--quick|--full]
+//! cargo run --release -p cohort-bench --bin fig6 [-- --config all-cr] [--quick|--full] [--json <path>]
 //! ```
 
-use cohort_bench::{bench_ga, geomean, kernels, sweep_protocols, CliOptions, CritConfig, CORES};
+use cohort_bench::{
+    bench_ga, geomean, json_report, kernels, run_to_json, sweep_protocols, write_json, CliOptions,
+    CritConfig, CORES,
+};
 
 fn main() {
     let options = CliOptions::parse(std::env::args());
@@ -13,6 +16,7 @@ fn main() {
         options.config.map_or_else(|| CritConfig::ALL.to_vec(), |c| vec![c]);
     let ga = bench_ga(options.quick);
     let workloads = kernels(CORES, options.full, options.quick);
+    let mut records = Vec::new();
 
     println!("Figure 6 — Execution time normalized against MSI + FCFS (lower is better)");
     println!("Paper averages (All Cr): CoHoRT 1.03x, PCC 1.13x, PENDULUM 1.50x\n");
@@ -28,6 +32,7 @@ fn main() {
         let mut pend_slow = Vec::new();
         for workload in &workloads {
             let runs = sweep_protocols(config, workload, &ga).expect("sweep succeeds");
+            records.extend(runs.iter().map(|run| run_to_json(config, run)));
             let baseline = runs[3].outcome.execution_time() as f64;
             let norm = |i: usize| runs[i].outcome.execution_time() as f64 / baseline;
             let (c, p, n) = (norm(0), norm(1), norm(2));
@@ -52,5 +57,10 @@ fn main() {
             geomean(&pend_slow)
         );
         println!();
+    }
+
+    if let Some(path) = &options.json {
+        write_json(path, &json_report("fig6", records)).expect("writable --json path");
+        println!("wrote machine-readable results to {}", path.display());
     }
 }

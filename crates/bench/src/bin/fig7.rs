@@ -10,13 +10,14 @@
 //! printed next to the paper's (≈1.5× and ≈1.8×).
 //!
 //! ```text
-//! cargo run --release -p cohort-bench --bin fig7 [-- --quick]
+//! cargo run --release -p cohort-bench --bin fig7 [-- --quick] [--json <path>]
 //! ```
 
-use cohort::{configure_modes, ModeController, Protocol};
-use cohort_bench::{bench_ga, fig7_stage_requirements, mode_switch_spec, CliOptions};
+use cohort::{configure_modes, ExperimentJob, ModeController, Protocol, Sweep};
+use cohort_bench::{bench_ga, fig7_stage_requirements, mode_switch_spec, write_json, CliOptions};
 use cohort_trace::{Kernel, KernelSpec};
 use cohort_types::{CoreId, Cycles, Mode};
+use serde_json::json;
 
 fn main() {
     let options = CliOptions::parse(std::env::args());
@@ -62,11 +63,12 @@ fn main() {
 
     // Run-time: the controller walks the stages.
     let mut controller = ModeController::new(config.clone());
-    println!("\n{:<7} {:>14} {:>10} {:>16} {:>14}", "stage", "requirement", "decision", "bound@mode", "schedulable");
+    println!(
+        "\n{:<7} {:>14} {:>10} {:>16} {:>14}",
+        "stage", "requirement", "decision", "bound@mode", "schedulable"
+    );
     for (i, &gamma) in stages.iter().enumerate() {
-        let decision = controller
-            .requirement_changed(c0, Cycles::new(gamma))
-            .expect("c0 exists");
+        let decision = controller.requirement_changed(c0, Cycles::new(gamma)).expect("c0 exists");
         let (label, at) = match decision.mode() {
             Some(m) => (format!("{m}"), bound(m.index())),
             None => ("-".to_string(), 0),
@@ -94,31 +96,73 @@ fn main() {
 
     // Cross-check with the simulator: measured WCML of c0 under the timers
     // of the mode the controller settled on per stage, and soundness of the
-    // bound the decision relied on.
+    // bound the decision relied on. The controller walk is inherently
+    // sequential; the per-stage simulations are not, so they run as one
+    // sweep on the bounded pool.
     println!("\nSimulator cross-check (measured c0 WCML under each stage's mode):");
     let mut controller = ModeController::new(config.clone());
-    for (i, &gamma) in stages.iter().enumerate() {
-        let Some(mode) = controller
-            .requirement_changed(c0, Cycles::new(gamma))
-            .expect("c0 exists")
-            .mode()
-        else {
-            println!("  stage {}: unschedulable", i + 1);
+    let stage_modes: Vec<(usize, u64, Option<Mode>)> = stages
+        .iter()
+        .enumerate()
+        .map(|(i, &gamma)| {
+            let decision =
+                controller.requirement_changed(c0, Cycles::new(gamma)).expect("c0 exists");
+            (i + 1, gamma, decision.mode())
+        })
+        .collect();
+    let schedulable: Vec<&(usize, u64, Option<Mode>)> =
+        stage_modes.iter().filter(|(_, _, m)| m.is_some()).collect();
+    let outcomes = Sweep::builder()
+        .jobs(schedulable.iter().map(|(stage, _, mode)| {
+            let mode = mode.expect("filtered to schedulable stages");
+            let timers = config.lut.timers_for(mode).expect("mode exists").to_vec();
+            ExperimentJob::new(spec.clone(), Protocol::Cohort { timers }, workload.clone())
+                .with_label(format!("fig7/stage-{stage}/mode-{mode}"))
+        }))
+        .build()
+        .run()
+        .into_outcomes()
+        .expect("simulation succeeds");
+    let mut measured_walk = Vec::new();
+    let mut results = schedulable.iter().zip(&outcomes);
+    for (stage, gamma, mode) in &stage_modes {
+        let Some(mode) = mode else {
+            println!("  stage {stage}: unschedulable");
             continue;
         };
-        let timers = config.lut.timers_for(mode).expect("mode exists").to_vec();
-        let outcome = cohort::run_experiment(&spec, &Protocol::Cohort { timers }, &workload)
-            .expect("simulation succeeds");
+        let (_, outcome) = results.next().expect("one outcome per schedulable stage");
         outcome.check_soundness().expect("bounds dominate");
         let measured = outcome.stats.cores[0].total_latency.get();
+        measured_walk.push((mode.index(), measured));
         println!(
-            "  stage {}: mode {} measured {:>12} ≤ bound {:>12} ≤ Γ {:>12}: {}",
-            i + 1,
-            mode,
-            measured,
+            "  stage {stage}: mode {mode} measured {measured:>12} ≤ bound {:>12} ≤ Γ {gamma:>12}: {}",
             bound(mode.index()),
-            gamma,
-            measured <= gamma && bound(mode.index()) <= gamma
+            measured <= *gamma && bound(mode.index()) <= *gamma
         );
+    }
+
+    if let Some(path) = &options.json {
+        let cross_check: Vec<serde_json::Value> = measured_walk
+            .iter()
+            .map(|&(mode, measured)| {
+                json!({
+                    "mode": mode,
+                    "measured_c0_wcml": measured,
+                    "bound": bound(mode),
+                })
+            })
+            .collect();
+        let report = json!({
+            "generator": "fig7",
+            "c0_bounds_per_mode": bounds.clone(),
+            "stage_requirements": stages.to_vec(),
+            "mode_walk": stage_modes
+                .iter()
+                .map(|(_, _, m)| m.map(Mode::index))
+                .collect::<Vec<Option<u32>>>(),
+            "cross_check": cross_check,
+        });
+        write_json(path, &report).expect("writable --json path");
+        println!("\nwrote machine-readable results to {}", path.display());
     }
 }

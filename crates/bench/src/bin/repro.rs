@@ -4,15 +4,15 @@
 //! the headline numbers EXPERIMENTS.md quotes.
 //!
 //! ```text
-//! cargo run --release -p cohort-bench --bin repro [-- --quick|--full]
+//! cargo run --release -p cohort-bench --bin repro [-- --quick|--full] [--json <path>]
 //! ```
 
 use std::fs;
 
 use cohort::{configure_modes, ModeController};
 use cohort_bench::{
-    bench_ga, fig7_stage_requirements, geomean, kernels, mode_switch_spec, sweep_protocols,
-    CliOptions, CritConfig, CORES,
+    bench_ga, fig7_stage_requirements, geomean, json_report, kernels, mode_switch_spec,
+    run_to_json, sweep_protocols, write_json, CliOptions, CritConfig, CORES,
 };
 use cohort_trace::{Kernel, KernelSpec};
 use cohort_types::{CoreId, Cycles, Mode};
@@ -23,6 +23,7 @@ fn main() {
     let ga = bench_ga(options.quick);
     let workloads = kernels(CORES, options.full, options.quick);
     let mut summary = serde_json::Map::new();
+    let mut records = Vec::new();
 
     // ---- Figures 5 & 6 -------------------------------------------------
     for config in CritConfig::ALL {
@@ -37,6 +38,7 @@ fn main() {
             for run in &runs {
                 run.outcome.check_soundness().expect("soundness");
             }
+            records.extend(runs.iter().map(|run| run_to_json(config, run)));
             let (cohort, pcc, pendulum, fcfs) = (&runs[0], &runs[1], &runs[2], &runs[3]);
             let mask = config.critical_mask();
             for (core, _) in mask.iter().enumerate().filter(|(_, &critical)| critical) {
@@ -74,9 +76,8 @@ fn main() {
     let workload = fft.generate();
     let modes = configure_modes(&spec, &workload, &ga).expect("offline flow");
     let c0 = CoreId::new(0);
-    let bound = |m: u32| {
-        modes.wcml_bound(c0, Mode::new(m).expect("static")).unwrap().unwrap().get()
-    };
+    let bound =
+        |m: u32| modes.wcml_bound(c0, Mode::new(m).expect("static")).unwrap().unwrap().get();
     let bounds: Vec<u64> = (1..=4).map(bound).collect();
     let mut controller = ModeController::new(modes.clone());
     let stages = fig7_stage_requirements(&bounds);
@@ -109,4 +110,9 @@ fn main() {
     fs::write("results/summary.json", serde_json::to_string_pretty(&doc).expect("serialize"))
         .expect("write summary");
     println!("\nwrote results/summary.json:\n{}", serde_json::to_string_pretty(&doc).expect("ok"));
+
+    if let Some(path) = &options.json {
+        write_json(path, &json_report("repro", records)).expect("writable --json path");
+        println!("wrote per-job results to {}", path.display());
+    }
 }

@@ -9,11 +9,18 @@
 //! cargo run --release -p cohort-bench --bin scaling [-- --quick]
 //! ```
 
-use cohort::{configure_modes, run_experiment, Protocol, SystemSpec};
+use cohort::{configure_modes, ExperimentJob, Protocol, Sweep, SystemSpec};
 use cohort_bench::{bench_ga, CliOptions};
 use cohort_optim::{solve, TimerProblem};
-use cohort_trace::{Kernel, KernelSpec};
+use cohort_trace::{Kernel, KernelSpec, Workload};
 use cohort_types::{Criticality, Mode};
+
+struct ScalePoint {
+    cores: usize,
+    levels: u32,
+    spec: SystemSpec,
+    workload: Workload,
+}
 
 fn main() {
     let options = CliOptions::parse(std::env::args());
@@ -25,6 +32,10 @@ fn main() {
         "{:<7} {:>8} {:>14} {:>16} {:>14} {:>12}",
         "cores", "levels", "Eq.1 (MSI-all)", "opt. avg WCML/acc", "exec time", "hit ratio"
     );
+    // Per-point timer optimization is sequential (each point's GA feeds its
+    // own job); the four simulations then run as one bounded sweep.
+    let mut points = Vec::new();
+    let mut jobs = Vec::new();
     for &cores in &[2usize, 4, 8, 16] {
         let levels = cores.min(8) as u32;
         let workload = KernelSpec::new(Kernel::Ocean, cores)
@@ -51,28 +62,34 @@ fn main() {
         let outcome = solve(&problem, &ga);
         let timers = problem.timers_from_genes(&outcome.best);
 
-        let run = run_experiment(&spec, &Protocol::Cohort { timers: timers.clone() }, &workload)
-            .expect("runs");
+        jobs.push(
+            ExperimentJob::new(spec.clone(), Protocol::Cohort { timers }, workload.clone())
+                .with_label(format!("scaling/{cores}-cores")),
+        );
+        points.push(ScalePoint { cores, levels, spec, workload });
+    }
+    let runs = Sweep::builder().jobs(jobs).build().run().into_outcomes().expect("runs");
+    for (point, run) in points.iter().zip(&runs) {
         run.check_soundness().expect("bounds dominate at every scale");
         let bounds = run.bounds.as_ref().expect("bounded");
         let msi_eq1 = cohort_analysis::wcl_miss(
             0,
-            &vec![cohort_types::TimerValue::MSI; cores],
-            spec.latency(),
+            &vec![cohort_types::TimerValue::MSI; point.cores],
+            point.spec.latency(),
         );
         let avg_wcml_per_access: f64 = bounds
             .iter()
-            .zip(workload.traces())
+            .zip(point.workload.traces())
             .map(|(b, t)| b.wcml.expect("bounded").get() as f64 / t.len().max(1) as f64)
             .sum::<f64>()
-            / cores as f64;
-        let hits: u64 = run.stats.cores.iter().map(|c| c.hits).sum();
-        let total: u64 = run.stats.cores.iter().map(|c| c.accesses()).sum();
+            / point.cores as f64;
         println!(
-            "{cores:<7} {levels:>8} {:>14} {avg_wcml_per_access:>17.1} {:>14} {:>11.1}%",
+            "{:<7} {:>8} {:>14} {avg_wcml_per_access:>17.1} {:>14} {:>11.1}%",
+            point.cores,
+            point.levels,
             msi_eq1.get(),
             run.execution_time(),
-            100.0 * hits as f64 / total as f64
+            100.0 * run.stats.hit_ratio()
         );
     }
 

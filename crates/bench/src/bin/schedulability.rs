@@ -6,13 +6,14 @@
 //! schedulability CoHoRT's hardware mode switch buys.
 //!
 //! ```text
-//! cargo run --release -p cohort-bench --bin schedulability [-- --quick]
+//! cargo run --release -p cohort-bench --bin schedulability [-- --quick] [--json <path>]
 //! ```
 
 use cohort::{configure_modes, ModeController};
-use cohort_bench::{bench_ga, mode_switch_spec, CliOptions};
+use cohort_bench::{bench_ga, mode_switch_spec, write_json, CliOptions};
 use cohort_trace::{Kernel, KernelSpec};
 use cohort_types::{CoreId, Cycles, Mode};
+use serde_json::json;
 
 fn main() {
     let options = CliOptions::parse(std::env::args());
@@ -25,11 +26,7 @@ fn main() {
     let config = configure_modes(&spec, &workload, &bench_ga(options.quick)).expect("flow");
 
     let c0 = CoreId::new(0);
-    let bound1 = config
-        .wcml_bound(c0, Mode::NORMAL)
-        .expect("mode exists")
-        .expect("bounded")
-        .get();
+    let bound1 = config.wcml_bound(c0, Mode::NORMAL).expect("mode exists").expect("bounded").get();
     let bound4 = config
         .wcml_bound(c0, Mode::new(4).expect("static"))
         .expect("mode exists")
@@ -38,8 +35,12 @@ fn main() {
 
     println!("Schedulability sweep — c0's requirement as a fraction of its mode-1 bound");
     println!("(fft; modes degrade c1..c3 to MSI as needed)\n");
-    println!("{:>10} {:>14} {:>18} {:>22}", "Γ/bound₁", "Γ (cycles)", "with mode switch", "without mode switch");
+    println!(
+        "{:>10} {:>14} {:>18} {:>22}",
+        "Γ/bound₁", "Γ (cycles)", "with mode switch", "without mode switch"
+    );
     let mut switch_wins = 0u32;
+    let mut points = Vec::new();
     for pct in (30..=110).step_by(5) {
         let gamma = bound1 * pct / 100;
         let controller = ModeController::new(config.clone());
@@ -47,20 +48,33 @@ fn main() {
             .first_satisfying_mode(c0, Cycles::new(gamma), Mode::NORMAL)
             .expect("c0 exists");
         let without = if bound1 <= gamma { Some(Mode::NORMAL) } else { None };
-        let fmt = |m: Option<Mode>| {
-            m.map_or_else(|| "UNSCHEDULABLE".to_string(), |m| format!("{m}"))
-        };
+        let fmt =
+            |m: Option<Mode>| m.map_or_else(|| "UNSCHEDULABLE".to_string(), |m| format!("{m}"));
         if with.is_some() && without.is_none() {
             switch_wins += 1;
         }
+        points.push(json!({
+            "percent_of_bound1": pct,
+            "gamma": gamma,
+            "with_mode_switch": with.map(Mode::index),
+            "without_mode_switch": without.map(Mode::index),
+        }));
         println!("{:>9}% {gamma:>14} {:>18} {:>22}", pct, fmt(with), fmt(without));
+    }
+    if let Some(path) = &options.json {
+        let report = json!({
+            "generator": "schedulability",
+            "bound_mode1": bound1,
+            "bound_mode4": bound4,
+            "points": points,
+        });
+        write_json(path, &report).expect("writable --json path");
+        println!("wrote machine-readable results to {}", path.display());
     }
     println!(
         "\nMode switching keeps the system schedulable down to Γ ≈ {:.0}% of the",
         100.0 * bound4 as f64 / bound1 as f64
     );
-    println!(
-        "normal-mode bound; {switch_wins} sweep points are schedulable only because the"
-    );
+    println!("normal-mode bound; {switch_wins} sweep points are schedulable only because the");
     println!("lower-criticality cores can be degraded instead of suspended (§VI).");
 }

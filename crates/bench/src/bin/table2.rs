@@ -3,12 +3,13 @@
 //! experiment platform (criticalities 4, 3, 2, 1 running fft).
 //!
 //! ```text
-//! cargo run --release -p cohort-bench --bin table2 [-- --quick]
+//! cargo run --release -p cohort-bench --bin table2 [-- --quick] [--json <path>]
 //! ```
 
 use cohort::configure_modes;
-use cohort_bench::{bench_ga, mode_switch_spec, CliOptions};
+use cohort_bench::{bench_ga, mode_switch_spec, write_json, CliOptions};
 use cohort_trace::{Kernel, KernelSpec};
+use serde_json::json;
 
 fn main() {
     let options = CliOptions::parse(std::env::args());
@@ -43,4 +44,25 @@ fn main() {
         config.lut.bits_per_core(),
         config.lut.modes()
     );
+
+    if let Some(path) = &options.json {
+        let entries: Vec<serde_json::Value> = config
+            .entries
+            .iter()
+            .map(|entry| {
+                json!({
+                    "mode": entry.mode.index(),
+                    "timers": entry.timers.iter().map(|t| t.encode()).collect::<Vec<i32>>(),
+                    "feasible": entry.feasible,
+                })
+            })
+            .collect();
+        let report = json!({
+            "generator": "table2",
+            "bits_per_core": u64::from(config.lut.bits_per_core()),
+            "entries": entries,
+        });
+        write_json(path, &report).expect("writable --json path");
+        println!("wrote machine-readable results to {}", path.display());
+    }
 }

@@ -59,8 +59,8 @@ fn run() -> Result<(), String> {
             }
             let mut spec = KernelSpec::new(kernel, cores);
             if let Some(total) = rest.first() {
-                spec = spec
-                    .with_total_requests(total.parse().map_err(|e| format!("bad total: {e}"))?);
+                spec =
+                    spec.with_total_requests(total.parse().map_err(|e| format!("bad total: {e}"))?);
             }
             if let Some(seed) = rest.get(1) {
                 spec = spec.with_seed(seed.parse().map_err(|e| format!("bad seed: {e}"))?);

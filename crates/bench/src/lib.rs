@@ -7,10 +7,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cohort::{run_experiment, ExperimentOutcome, Protocol, SystemSpec};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use cohort::{
+    ExperimentJob, ExperimentOutcome, JobProgress, Protocol, ProtocolKind, Sweep, SweepObserver,
+    SystemSpec,
+};
 use cohort_optim::{solve, GaConfig, TimerProblem};
 use cohort_trace::{Kernel, KernelSpec, Workload};
-use cohort_types::{Criticality, Cycles, Result, TimerValue};
+use cohort_types::{Criticality, Cycles, Error, Result, TimerValue};
+use serde_json::json;
 
 /// The uniform timer PENDULUM programs on its critical cores (PENDULUM is
 /// not requirement-aware; a single protective value serves everyone).
@@ -143,10 +150,8 @@ pub fn optimize_cohort_timers(
         spec.llc(),
     )?;
 
-    let mut builder = TimerProblem::builder(workload)
-        .latency(*spec.latency())
-        .l1(*spec.l1())
-        .llc(*spec.llc());
+    let mut builder =
+        TimerProblem::builder(workload).latency(*spec.latency()).l1(*spec.l1()).llc(*spec.llc());
     for (i, &critical) in mask.iter().enumerate() {
         if critical {
             let gamma =
@@ -162,9 +167,14 @@ pub fn optimize_cohort_timers(
 /// Runs one kernel under one configuration for CoHoRT, PCC and PENDULUM
 /// (the Figure-5 sweep) plus MSI+FCFS (the Figure-6 baseline).
 ///
+/// The four protocol runs go through a [`Sweep`], so they execute on the
+/// bounded worker pool and share the memoized analysis curves; results
+/// keep the `[CoHoRT, PCC, PENDULUM, MSI+FCFS]` order the figure
+/// renderers index by position.
+///
 /// # Errors
 ///
-/// Propagates simulator/analysis errors.
+/// Propagates simulator/analysis errors (the first failed job's error).
 pub fn sweep_protocols(
     config: CritConfig,
     workload: &Workload,
@@ -172,23 +182,46 @@ pub fn sweep_protocols(
 ) -> Result<Vec<ProtocolRun>> {
     let spec = config.spec();
     let timers = optimize_cohort_timers(config, workload, ga)?;
+    let shared = Arc::new(workload.clone());
     let protocols = [
         Protocol::Cohort { timers: timers.clone() },
         Protocol::Pcc,
         Protocol::Pendulum { critical: config.critical_mask(), theta: PENDULUM_THETA },
         Protocol::MsiFcfs,
     ];
-    protocols
+    let sweep = Sweep::builder()
+        .jobs(protocols.into_iter().map(|p| {
+            let label = format!("{}/{}/{}", config.slug(), workload.name(), p.slug());
+            ExperimentJob::new(spec.clone(), p, Arc::clone(&shared)).with_label(label)
+        }))
+        .build();
+    let outcomes = sweep.run().into_outcomes()?;
+    Ok(outcomes
         .into_iter()
-        .map(|p| {
-            let is_cohort = matches!(p, Protocol::Cohort { .. });
-            let outcome = run_experiment(&spec, &p, workload)?;
-            Ok(ProtocolRun {
-                outcome,
-                timers: if is_cohort { Some(timers.clone()) } else { None },
-            })
+        .map(|outcome| {
+            let timers = (outcome.protocol == ProtocolKind::Cohort).then(|| timers.clone());
+            ProtocolRun { outcome, timers }
         })
-        .collect()
+        .collect())
+}
+
+/// A [`SweepObserver`] that prints one line per finished job to stderr.
+///
+/// Used by the long-running regeneration binaries so a full-scale run
+/// shows forward progress without polluting the stdout tables.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConsoleObserver;
+
+impl SweepObserver for ConsoleObserver {
+    fn job_finished(&self, index: usize, label: &str, progress: &JobProgress) {
+        let status = if progress.ok { "ok" } else { "FAILED" };
+        eprintln!(
+            "  [{index}] {label}: {status} ({} cycles, bus {:.1}%, {:.2?})",
+            progress.cycles,
+            progress.bus_utilisation * 100.0,
+            progress.wall_time,
+        );
+    }
 }
 
 /// The evaluation workloads at the given scale.
@@ -262,6 +295,71 @@ pub fn fig7_stage_requirements(bounds: &[u64]) -> [u64; 3] {
     [bounds[0] * 102 / 100, (bounds[1] + bounds[2]) / 2, (bounds[2] + bounds[3]) / 2]
 }
 
+/// Machine-readable record of one protocol run (one element of the
+/// `--json` report's `"runs"` array).
+///
+/// Schema per run: config/protocol/workload identity (slugs), the
+/// execution time and bus utilisation, per-core measured statistics with
+/// their analytical bounds (`null` where no bound exists), and the
+/// optimized timers for CoHoRT runs (paper encoding, −1 = MSI).
+#[must_use]
+pub fn run_to_json(config: CritConfig, run: &ProtocolRun) -> serde_json::Value {
+    let outcome = &run.outcome;
+    let cores: Vec<serde_json::Value> = outcome
+        .stats
+        .cores
+        .iter()
+        .enumerate()
+        .map(|(i, core)| {
+            let bound = outcome.bounds.as_ref().map(|b| b[i]);
+            json!({
+                "hits": core.hits,
+                "misses": core.misses,
+                "total_latency": core.total_latency.get(),
+                "worst_request": core.worst_request.get(),
+                "wcml_bound": bound.and_then(|b| b.wcml).map(Cycles::get),
+                "wcl_bound": bound.and_then(|b| b.wcl).map(Cycles::get),
+            })
+        })
+        .collect();
+    json!({
+        "config": config.slug(),
+        "protocol": outcome.protocol.slug(),
+        "workload": outcome.workload.clone(),
+        "execution_time": outcome.execution_time(),
+        "cycles": outcome.stats.cycles.get(),
+        "bus_utilisation": outcome.stats.bus_utilisation(),
+        "hit_ratio": outcome.stats.hit_ratio(),
+        "timers": run.timers.as_ref().map(|t| t.iter().map(|v| v.encode()).collect::<Vec<i32>>()),
+        "cores": cores,
+    })
+}
+
+/// Wraps per-run records into the `--json` report envelope
+/// (`{"generator": ..., "runs": [...]}`).
+#[must_use]
+pub fn json_report(generator: &str, runs: Vec<serde_json::Value>) -> serde_json::Value {
+    json!({
+        "generator": generator,
+        "runs": runs,
+    })
+}
+
+/// Writes a machine-readable report to `path` (pretty-printed JSON),
+/// creating parent directories as needed.
+///
+/// # Errors
+///
+/// Returns [`Error::Codec`] when serialization or the filesystem fails.
+pub fn write_json(path: &Path, value: &serde_json::Value) -> Result<()> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(|e| Error::Codec(e.to_string()))?;
+    }
+    let mut text = serde_json::to_string_pretty(value).map_err(|e| Error::Codec(e.to_string()))?;
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| Error::Codec(e.to_string()))
+}
+
 /// Parses the common CLI flags of the bin targets.
 #[derive(Debug, Clone, Default)]
 pub struct CliOptions {
@@ -271,6 +369,8 @@ pub struct CliOptions {
     pub quick: bool,
     /// `--config <slug>`: restrict to one criticality configuration.
     pub config: Option<CritConfig>,
+    /// `--json <path>`: also emit machine-readable per-job results.
+    pub json: Option<PathBuf>,
 }
 
 impl CliOptions {
@@ -294,13 +394,15 @@ impl CliOptions {
                             .unwrap_or_else(|| panic!("unknown config `{slug}`")),
                     );
                 }
-                other => panic!("unknown flag `{other}` (use --full, --quick, --config <slug>)"),
+                "--json" => {
+                    options.json = Some(PathBuf::from(args.next().expect("--json needs a path")));
+                }
+                other => panic!(
+                    "unknown flag `{other}` (use --full, --quick, --config <slug>, --json <path>)"
+                ),
             }
         }
-        assert!(
-            !(options.full && options.quick),
-            "--full and --quick are mutually exclusive"
-        );
+        assert!(!(options.full && options.quick), "--full and --quick are mutually exclusive");
         options
     }
 }
@@ -338,10 +440,13 @@ mod tests {
     #[test]
     fn cli_parsing() {
         let opts = CliOptions::parse(
-            ["bin", "--quick", "--config", "all-cr"].iter().map(ToString::to_string),
+            ["bin", "--quick", "--config", "all-cr", "--json", "out/fig5.json"]
+                .iter()
+                .map(ToString::to_string),
         );
         assert!(opts.quick);
         assert_eq!(opts.config, Some(CritConfig::AllCr));
+        assert_eq!(opts.json.as_deref(), Some(Path::new("out/fig5.json")));
     }
 
     #[test]
@@ -360,5 +465,59 @@ mod tests {
         for run in &runs {
             run.outcome.check_soundness().unwrap_or_else(|e| panic!("{e}"));
         }
+        // The renderers index the runs by position: the order is part of
+        // the API and must survive the parallel sweep.
+        let kinds: Vec<ProtocolKind> = runs.iter().map(|r| r.outcome.protocol).collect();
+        assert_eq!(
+            kinds,
+            [
+                ProtocolKind::Cohort,
+                ProtocolKind::Pcc,
+                ProtocolKind::Pendulum,
+                ProtocolKind::MsiFcfs
+            ]
+        );
+        assert!(runs[0].timers.is_some() && runs[1].timers.is_none());
+    }
+
+    #[test]
+    fn json_records_carry_the_run() {
+        let w = KernelSpec::new(Kernel::Fft, 4).with_total_requests(2_000).generate();
+        let ga = GaConfig { population: 8, generations: 3, ..Default::default() };
+        let runs = sweep_protocols(CritConfig::TwoCrTwoNcr, &w, &ga).unwrap();
+        let record = run_to_json(CritConfig::TwoCrTwoNcr, &runs[0]);
+        assert_eq!(record.get("config").and_then(serde_json::Value::as_str), Some("2cr2ncr"));
+        assert_eq!(record.get("protocol").and_then(serde_json::Value::as_str), Some("cohort"));
+        assert_eq!(
+            record.get("execution_time").and_then(serde_json::Value::as_u64),
+            Some(runs[0].outcome.execution_time())
+        );
+        let cores = record.get("cores").and_then(serde_json::Value::as_array).unwrap();
+        assert_eq!(cores.len(), 4);
+        assert_eq!(
+            cores[0].get("hits").and_then(serde_json::Value::as_u64),
+            Some(runs[0].outcome.stats.cores[0].hits)
+        );
+        let timers = record.get("timers").and_then(serde_json::Value::as_array).unwrap();
+        assert_eq!(timers.len(), 4);
+        // The MSI+FCFS baseline has no bounds and no timers: nulls, not
+        // absent keys, so downstream tooling sees a stable schema.
+        let baseline = run_to_json(CritConfig::TwoCrTwoNcr, &runs[3]);
+        assert_eq!(baseline.get("timers"), Some(&serde_json::Value::Null));
+        let baseline_cores = baseline.get("cores").and_then(serde_json::Value::as_array).unwrap();
+        assert_eq!(baseline_cores[0].get("wcml_bound"), Some(&serde_json::Value::Null));
+
+        let report = json_report("test", vec![record, baseline]);
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        assert!(text.contains("\"generator\""));
+
+        let dir = std::env::temp_dir().join("cohort-bench-json-test");
+        let path = dir.join("nested").join("report.json");
+        write_json(&path, &report).unwrap();
+        let round: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let round_runs = round.get("runs").and_then(serde_json::Value::as_array).unwrap();
+        assert_eq!(round_runs.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

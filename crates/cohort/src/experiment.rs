@@ -6,13 +6,13 @@ use cohort_sim::{SimStats, Simulator};
 use cohort_trace::Workload;
 use cohort_types::Result;
 
-use crate::{Protocol, SystemSpec};
+use crate::{ExperimentJob, Protocol, ProtocolKind, Sweep, SystemSpec};
 
 /// The paired outcome of simulating a protocol and analysing it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentOutcome {
-    /// Protocol name (figure label).
-    pub protocol: String,
+    /// Which protocol ran (labels come from [`ProtocolKind::label`]).
+    pub protocol: ProtocolKind,
     /// Workload name (figure x-axis).
     pub workload: String,
     /// Measured statistics (the solid bars).
@@ -79,37 +79,38 @@ pub fn run_experiment(
     let stats = sim.run()?;
     let bounds = protocol.analyze(spec, workload)?;
     Ok(ExperimentOutcome {
-        protocol: protocol.name().to_string(),
+        protocol: protocol.kind(),
         workload: workload.name().to_string(),
         stats,
         bounds,
     })
 }
 
-/// Runs a batch of experiments in parallel (one thread per job, scoped) —
-/// the figure benches sweep kernels × protocols and the runs are
-/// independent and CPU-bound.
+/// Runs a batch of experiments in parallel and returns the outcomes in
+/// input order, or the first error.
+///
+/// This is the legacy driver interface, now a shim over [`Sweep`]; the
+/// sweep API bounds the worker count, isolates per-job panics and reports
+/// every job's outcome instead of only the first failure.
 ///
 /// # Errors
 ///
 /// Returns the first error among the jobs; results keep the input order.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `cohort::Sweep` of owned `ExperimentJob`s instead: it bounds worker \
+            threads, isolates job panics and reports every job's outcome"
+)]
 pub fn run_experiments_parallel(
     jobs: &[(&SystemSpec, &Protocol, &Workload)],
 ) -> Result<Vec<ExperimentOutcome>> {
-    let mut results: Vec<Option<Result<ExperimentOutcome>>> = Vec::new();
-    results.resize_with(jobs.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        for (slot, (spec, protocol, workload)) in results.iter_mut().zip(jobs) {
-            scope.spawn(move |_| {
-                *slot = Some(run_experiment(spec, protocol, workload));
-            });
-        }
-    })
-    .expect("experiment threads do not panic");
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot is filled by its thread"))
-        .collect()
+    Sweep::builder()
+        .jobs(jobs.iter().map(|(spec, protocol, workload)| {
+            ExperimentJob::new((*spec).clone(), (*protocol).clone(), (*workload).clone())
+        }))
+        .build()
+        .run()
+        .into_outcomes()
 }
 
 #[cfg(test)]
@@ -133,7 +134,7 @@ mod tests {
         let timers = vec![TimerValue::timed(50).unwrap(), TimerValue::MSI];
         let outcome = run_experiment(&s, &Protocol::Cohort { timers }, &w).unwrap();
         outcome.check_soundness().unwrap();
-        assert_eq!(outcome.protocol, "CoHoRT");
+        assert_eq!(outcome.protocol, ProtocolKind::Cohort);
         assert!(outcome.execution_time() > 0);
     }
 
@@ -158,6 +159,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the shim must keep behaving like the old driver
     fn parallel_matches_sequential() {
         let s = spec(2);
         let w = micro::ping_pong(2, 10);
@@ -168,6 +170,24 @@ mod tests {
         assert_eq!(parallel.len(), 2);
         let seq0 = run_experiment(&s, &p1, &w).unwrap();
         assert_eq!(parallel[0].stats, seq0.stats);
-        assert_eq!(parallel[1].protocol, "PCC");
+        assert_eq!(parallel[1].protocol, ProtocolKind::Pcc);
+    }
+
+    #[test]
+    fn sweep_matches_sequential_runs() {
+        let s = spec(2);
+        let w = micro::random_shared(2, 16, 80, 0.4, 7);
+        let protocols =
+            [Protocol::Msi, Protocol::Pcc, Protocol::MsiFcfs, Protocol::Msi, Protocol::Pcc];
+        let sweep = crate::Sweep::builder()
+            .jobs(protocols.iter().map(|p| ExperimentJob::new(s.clone(), p.clone(), w.clone())))
+            .workers(2)
+            .build();
+        let report = sweep.run();
+        assert_eq!(report.results.len(), protocols.len());
+        for (result, protocol) in report.results.iter().zip(&protocols) {
+            let sequential = run_experiment(&s, protocol, &w).unwrap();
+            assert_eq!(result.outcome().unwrap(), &sequential);
+        }
     }
 }

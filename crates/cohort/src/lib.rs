@@ -18,9 +18,13 @@
 //! - [`ModeController`]: the run-time half of §VI — when a requirement
 //!   tightens, escalate the mode (degrading lower-criticality cores to MSI
 //!   instead of suspending them) until the bound fits;
-//! - [`run_experiment`] and friends: simulation + analysis drivers used by
-//!   the examples, the integration tests and the figure-regeneration
-//!   benches.
+//! - [`run_experiment`]: the simulation + analysis driver for a single
+//!   protocol × workload pair;
+//! - [`Sweep`] / [`ExperimentJob`]: the batch sweep engine — a bounded
+//!   worker pool (sized from the machine's available parallelism) that
+//!   runs many experiments, isolates per-job panics into [`JobError`]s,
+//!   reports progress through [`SweepObserver`] hooks and returns every
+//!   job's outcome as a structured [`SweepReport`].
 //!
 //! # Examples
 //!
@@ -50,18 +54,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod controller;
 mod experiment;
 pub mod hardware;
 mod modes;
+mod pool;
 mod protocol;
 pub mod related;
 mod system;
 
+pub use batch::{
+    ExperimentJob, JobError, JobProgress, JobResult, Sweep, SweepBuilder, SweepObserver,
+    SweepReport,
+};
 pub use controller::{ModeController, ModeDecision};
-pub use experiment::{run_experiment, run_experiments_parallel, ExperimentOutcome};
+#[allow(deprecated)]
+pub use experiment::run_experiments_parallel;
+pub use experiment::{run_experiment, ExperimentOutcome};
 pub use modes::{configure_modes, ModeConfiguration, ModeEntry, ModeSwitchLut};
-pub use protocol::Protocol;
+pub use protocol::{Protocol, ProtocolKind};
 pub use system::{CoreSpec, SystemSpec, SystemSpecBuilder};
 
 // Re-export the layered crates so downstream users need one dependency.

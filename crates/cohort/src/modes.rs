@@ -180,21 +180,13 @@ pub fn configure_modes(
         )));
     }
     // One GA run per mode; the runs are independent and CPU-bound, so they
-    // execute in parallel (scoped threads), each with a deterministic seed.
+    // execute on the bounded worker pool, each with a deterministic seed.
     let modes: Vec<Mode> = spec.modes().collect();
-    let mut results: Vec<Option<Result<ModeEntry>>> = Vec::new();
-    results.resize_with(modes.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        for (slot, &mode) in results.iter_mut().zip(&modes) {
-            scope.spawn(move |_| {
-                *slot = Some(configure_one_mode(spec, workload, ga, mode));
-            });
-        }
-    })
-    .expect("mode-configuration threads do not panic");
-    let entries: Vec<ModeEntry> = results
+    let entries: Vec<ModeEntry> =
+        crate::pool::run_indexed(&modes, crate::pool::default_workers(), |_, &mode| {
+            configure_one_mode(spec, workload, ga, mode)
+        })
         .into_iter()
-        .map(|r| r.expect("every slot is filled by its thread"))
         .collect::<Result<_>>()?;
     let rows = entries.iter().map(|e| e.timers.clone()).collect();
     Ok(ModeConfiguration { entries, lut: ModeSwitchLut::new(rows)? })
@@ -207,10 +199,8 @@ fn configure_one_mode(
     mode: Mode,
 ) -> Result<ModeEntry> {
     let mask = spec.timed_mask(mode);
-    let mut builder = TimerProblem::builder(workload)
-        .latency(*spec.latency())
-        .l1(*spec.l1())
-        .llc(*spec.llc());
+    let mut builder =
+        TimerProblem::builder(workload).latency(*spec.latency()).l1(*spec.l1()).llc(*spec.llc());
     for (i, &timed) in mask.iter().enumerate() {
         if timed {
             let gamma = spec.core_specs()[i].requirements().at(mode);

@@ -1,0 +1,101 @@
+//! A bounded worker pool over `std::thread::scope`.
+//!
+//! The previous drivers spawned one scoped thread *per job*, which
+//! oversubscribed the machine as soon as a sweep grew past the core count
+//! (kernels × protocols × configurations easily reaches dozens of jobs).
+//! This pool spawns at most `workers` threads; the threads claim job
+//! indices from a shared atomic counter, so finished workers immediately
+//! pull the next job (no static partitioning) and results come back in
+//! **input order** regardless of which worker ran what.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The default worker count: the machine's available parallelism
+/// (falling back to 1 when the OS cannot report it).
+pub(crate) fn default_workers() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Runs `f(index, &items[index])` for every item on at most `workers`
+/// threads and returns the results in input order.
+///
+/// `f` is responsible for its own panic isolation: a panic that escapes it
+/// takes the whole pool down (used deliberately by callers whose jobs must
+/// not fail, e.g. mode configuration).
+pub(crate) fn run_indexed<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, items.len());
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(index) else { break };
+                        local.push((index, f(index, item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (index, result) in handle.join().expect("pool jobs isolate their panics") {
+                slots[index] = Some(result);
+            }
+        }
+    });
+    slots.into_iter().map(|slot| slot.expect("every index is claimed exactly once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn results_keep_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = run_indexed(&items, 4, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing() {
+        let out: Vec<u32> = run_indexed(&[] as &[u32], 8, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_count_is_bounded() {
+        let items: Vec<u32> = (0..48).collect();
+        let threads = Mutex::new(HashSet::new());
+        run_indexed(&items, 3, |_, &x| {
+            threads.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            x
+        });
+        assert!(threads.lock().unwrap().len() <= 3);
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let items = [1u32, 2, 3];
+        assert_eq!(run_indexed(&items, 0, |_, &x| x + 1), vec![2, 3, 4]);
+    }
+}

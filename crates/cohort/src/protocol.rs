@@ -1,12 +1,82 @@
 //! Protocol presets: CoHoRT and the paper's baselines as simulator
 //! configurations plus their analytical models.
 
+use serde::{Deserialize, Serialize};
+
 use cohort_analysis::{analyze_cohort, analyze_pcc, analyze_pendulum, CoreBound, PendulumParams};
 use cohort_sim::{ArbiterKind, DataPath, SimConfig};
 use cohort_trace::Workload;
 use cohort_types::{Error, Result, TimerValue};
 
 use crate::SystemSpec;
+
+/// The identity of a [`Protocol`], without its configuration payload.
+///
+/// Results (sweep reports, JSON exports, figure tables) want to *name* the
+/// protocol a run used without dragging its timers or criticality mask
+/// along; `ProtocolKind` is the `Copy` discriminant for that, with a
+/// stable human label and a filesystem/CLI-safe slug (mirroring
+/// `CritConfig::slug` in `cohort-bench`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// CoHoRT: per-core timers under RROF.
+    Cohort,
+    /// Plain MSI snooping under RROF.
+    Msi,
+    /// MSI under a COTS FCFS arbiter (the Figure-6 baseline).
+    MsiFcfs,
+    /// PCC-style predictable coherence (staged hand-overs).
+    Pcc,
+    /// PENDULUM: uniform timers + TDM.
+    Pendulum,
+}
+
+impl ProtocolKind {
+    /// Every kind, in the paper's presentation order.
+    pub const ALL: [ProtocolKind; 5] = [
+        ProtocolKind::Cohort,
+        ProtocolKind::Msi,
+        ProtocolKind::MsiFcfs,
+        ProtocolKind::Pcc,
+        ProtocolKind::Pendulum,
+    ];
+
+    /// Short name used on figure axes and in reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::Cohort => "CoHoRT",
+            ProtocolKind::Msi => "MSI",
+            ProtocolKind::MsiFcfs => "MSI+FCFS",
+            ProtocolKind::Pcc => "PCC",
+            ProtocolKind::Pendulum => "PENDULUM",
+        }
+    }
+
+    /// Lower-case identifier safe for CLI flags, JSON keys and filenames.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            ProtocolKind::Cohort => "cohort",
+            ProtocolKind::Msi => "msi",
+            ProtocolKind::MsiFcfs => "msi-fcfs",
+            ProtocolKind::Pcc => "pcc",
+            ProtocolKind::Pendulum => "pendulum",
+        }
+    }
+
+    /// Parses a [`Self::slug`] back into a kind.
+    #[must_use]
+    pub fn from_slug(slug: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.slug() == slug)
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// The coherence solutions compared in the paper's evaluation (§VIII).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,16 +109,36 @@ pub enum Protocol {
 }
 
 impl Protocol {
+    /// The configuration-free identity of this protocol.
+    #[must_use]
+    pub fn kind(&self) -> ProtocolKind {
+        match self {
+            Protocol::Cohort { .. } => ProtocolKind::Cohort,
+            Protocol::Msi => ProtocolKind::Msi,
+            Protocol::MsiFcfs => ProtocolKind::MsiFcfs,
+            Protocol::Pcc => ProtocolKind::Pcc,
+            Protocol::Pendulum { .. } => ProtocolKind::Pendulum,
+        }
+    }
+
     /// Short name used on figure axes and in reports.
     #[must_use]
+    pub fn label(&self) -> &'static str {
+        self.kind().label()
+    }
+
+    /// Lower-case identifier safe for CLI flags, JSON keys and filenames.
+    #[must_use]
+    pub fn slug(&self) -> &'static str {
+        self.kind().slug()
+    }
+
+    /// Short name used on figure axes and in reports.
+    ///
+    /// Alias of [`Self::label`], kept for source compatibility.
+    #[must_use]
     pub fn name(&self) -> &'static str {
-        match self {
-            Protocol::Cohort { .. } => "CoHoRT",
-            Protocol::Msi => "MSI",
-            Protocol::MsiFcfs => "MSI+FCFS",
-            Protocol::Pcc => "PCC",
-            Protocol::Pendulum { .. } => "PENDULUM",
-        }
+        self.label()
     }
 
     /// Builds the simulator configuration realising this protocol on the
@@ -141,14 +231,26 @@ mod tests {
         assert_eq!(Protocol::Msi.name(), "MSI");
         assert_eq!(Protocol::Pcc.name(), "PCC");
         assert_eq!(Protocol::Cohort { timers: vec![] }.name(), "CoHoRT");
+        assert_eq!(Protocol::MsiFcfs.label(), "MSI+FCFS");
+        assert_eq!(Protocol::Pendulum { critical: vec![], theta: 1 }.slug(), "pendulum");
+    }
+
+    #[test]
+    fn kinds_round_trip_through_slugs() {
+        for kind in ProtocolKind::ALL {
+            assert_eq!(ProtocolKind::from_slug(kind.slug()), Some(kind));
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert_eq!(ProtocolKind::from_slug("emsi"), None);
+        assert_eq!(Protocol::Cohort { timers: vec![] }.kind(), ProtocolKind::Cohort);
+        assert_eq!(ProtocolKind::MsiFcfs.slug(), "msi-fcfs");
     }
 
     #[test]
     fn cohort_config_carries_timers() {
         let s = spec(2);
         let timers = vec![TimerValue::timed(30).unwrap(), TimerValue::MSI];
-        let config =
-            Protocol::Cohort { timers: timers.clone() }.sim_config(&s).unwrap();
+        let config = Protocol::Cohort { timers: timers.clone() }.sim_config(&s).unwrap();
         assert_eq!(config.timers(), timers.as_slice());
         assert_eq!(config.arbiter(), &ArbiterKind::Rrof);
     }

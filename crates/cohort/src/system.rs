@@ -3,9 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use cohort_sim::{CacheGeometry, LlcModel};
-use cohort_types::{
-    CoreId, Criticality, Cycles, Error, LatencyConfig, Mode, Requirements, Result,
-};
+use cohort_types::{CoreId, Criticality, Cycles, Error, LatencyConfig, Mode, Requirements, Result};
 
 /// One core of the MCS: its criticality level `l_i` and the per-mode WCML
 /// requirements `Γ^m` of the task mapped to it.
@@ -258,9 +256,7 @@ mod tests {
     #[test]
     fn requirements_travel_with_cores() {
         let spec = SystemSpec::builder()
-            .core_spec(
-                CoreSpec::new(crit(2)).with_requirement(Mode::NORMAL, Cycles::new(1_000)),
-            )
+            .core_spec(CoreSpec::new(crit(2)).with_requirement(Mode::NORMAL, Cycles::new(1_000)))
             .core(crit(1))
             .build()
             .unwrap();

@@ -269,10 +269,7 @@ impl GeneticAlgorithm {
     }
 
     fn crossover(&self, a: &[u64], b: &[u64], rng: &mut ChaCha8Rng) -> Vec<u64> {
-        a.iter()
-            .zip(b)
-            .map(|(&ga, &gb)| if rng.gen_bool(0.5) { ga } else { gb })
-            .collect()
+        a.iter().zip(b).map(|(&ga, &gb)| if rng.gen_bool(0.5) { ga } else { gb }).collect()
     }
 
     fn mutate(&self, mut genes: Vec<u64>, rng: &mut ChaCha8Rng) -> Vec<u64> {
@@ -283,8 +280,8 @@ impl GeneticAlgorithm {
             let (lo, hi) = self.space.bound(i);
             if rng.gen_bool(0.5) {
                 // Reset: explore (log-uniformly for log-scale spaces).
-                let fresh = SearchSpace::with_scale(vec![(lo, hi)], self.space.log_scale)
-                    .sample(rng)[0];
+                let fresh =
+                    SearchSpace::with_scale(vec![(lo, hi)], self.space.log_scale).sample(rng)[0];
                 *gene = fresh;
             } else if self.space.log_scale {
                 // Multiplicative jitter: scale by a factor in [0.5, 2].
@@ -339,8 +336,8 @@ mod tests {
     fn different_seeds_explore_differently() {
         let space = SearchSpace::new(vec![(0, 100_000); 6]);
         let a = GeneticAlgorithm::new(space.clone(), GaConfig::default()).run(sphere);
-        let b = GeneticAlgorithm::new(space, GaConfig { seed: 1, ..Default::default() })
-            .run(sphere);
+        let b =
+            GeneticAlgorithm::new(space, GaConfig { seed: 1, ..Default::default() }).run(sphere);
         assert_ne!(a.best, b.best);
     }
 

@@ -49,4 +49,6 @@ mod ga;
 mod timer_problem;
 
 pub use ga::{GaConfig, GaOutcome, GeneticAlgorithm, SearchSpace};
-pub use timer_problem::{optimize_timers, solve, TimerAssignment, TimerProblem, TimerProblemBuilder};
+pub use timer_problem::{
+    optimize_timers, solve, TimerAssignment, TimerProblem, TimerProblemBuilder,
+};

@@ -1,10 +1,6 @@
 //! The CoHoRT timer-configuration problem (§V) on top of the GA engine.
 
-use std::collections::HashMap;
-
-use parking_lot::Mutex;
-
-use cohort_analysis::{guaranteed_hits, theta_saturation, wcl_miss, wcml_snoop, wcml_timed};
+use cohort_analysis::{analysis_cache, wcl_miss, wcml_snoop, wcml_timed};
 use cohort_sim::{CacheGeometry, LlcModel};
 use cohort_trace::Workload;
 use cohort_types::{Cycles, Error, LatencyConfig, Result, TimerValue};
@@ -21,13 +17,15 @@ const PENALTY_BASE: f64 = 1.0e12;
 /// gradient from "badly infeasible" toward "barely infeasible".
 const PENALTY: f64 = 1.0e9;
 
-/// Memo key: (core, θ, WCL); value: (guaranteed hits, misses).
-type HitMemo = HashMap<(usize, u64, u64), (u64, u64)>;
-
 /// One optimization problem instance: which cores are timed, their
 /// requirements, and the workload whose cache behaviour drives M_hit.
 ///
 /// Build with [`TimerProblem::builder`]; solve with [`optimize_timers`].
+///
+/// Fitness evaluations are memoized through the process-wide
+/// [`analysis_cache`], so repeated GA runs over the same workload — and
+/// concurrent runs on other threads (e.g. per-mode configuration) — share
+/// each other's guaranteed-hit curves.
 #[derive(Debug)]
 pub struct TimerProblem<'w> {
     workload: &'w Workload,
@@ -41,8 +39,9 @@ pub struct TimerProblem<'w> {
     timed: Vec<usize>,
     /// Per timed core: the saturation timer bounding the search.
     theta_sat: Vec<u64>,
-    /// Memoized cache-analysis results keyed by (core, θ, WCL).
-    memo: Mutex<HitMemo>,
+    /// Per-core trace fingerprints, precomputed so the hot fitness loop
+    /// queries the shared analysis cache without re-hashing the traces.
+    fingerprints: Vec<u128>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,10 +125,13 @@ impl<'w> TimerProblemBuilder<'w> {
                 "at least one core must be timed for the optimization to have variables".into(),
             ));
         }
+        let fingerprints: Vec<u128> =
+            self.workload.traces().iter().map(cohort_trace::Trace::fingerprint).collect();
         let theta_sat = timed
             .iter()
             .map(|&i| {
-                theta_saturation(
+                analysis_cache().theta_saturation_fp(
+                    fingerprints[i],
                     &self.workload.traces()[i],
                     &self.l1,
                     self.latency.hit,
@@ -145,7 +147,7 @@ impl<'w> TimerProblemBuilder<'w> {
             roles: self.roles,
             timed,
             theta_sat,
-            memo: Mutex::new(HashMap::new()),
+            fingerprints,
         })
     }
 }
@@ -194,27 +196,22 @@ impl<'w> TimerProblem<'w> {
         timers
     }
 
-    /// Guaranteed hit/miss counts for one core, memoized on (core, θ, WCL).
-    /// Under a finite LLC no hits are guaranteed (back-invalidation).
+    /// Guaranteed hit/miss counts for one core, memoized in the shared
+    /// [`analysis_cache`] on (trace, θ, geometry, latencies). Under a
+    /// finite LLC no hits are guaranteed (back-invalidation).
     fn counts(&self, core: usize, timer: TimerValue, wcl: Cycles) -> (u64, u64) {
         if !self.llc.is_perfect() {
             return (0, self.workload.traces()[core].len() as u64);
         }
-        let theta = timer.theta().expect("only timed cores are counted");
-        let key = (core, theta, wcl.get());
-        if let Some(&cached) = self.memo.lock().get(&key) {
-            return cached;
-        }
-        let counts = guaranteed_hits(
+        let counts = analysis_cache().guaranteed_hits_fp(
+            self.fingerprints[core],
             &self.workload.traces()[core],
             timer,
             &self.l1,
             self.latency.hit,
             wcl,
         );
-        let result = (counts.hits, counts.misses);
-        self.memo.lock().insert(key, result);
-        result
+        (counts.hits, counts.misses)
     }
 
     /// The §V fitness: mean per-access worst-case latency summed over all
@@ -331,8 +328,7 @@ pub fn solve(problem: &TimerProblem<'_>, config: &GaConfig) -> GaOutcome {
     // source of guaranteed hits).
     let minimal = vec![1u64; problem.timed_cores().len()];
     let saturated = problem.theta_saturations().to_vec();
-    let heuristic: Vec<u64> =
-        problem.theta_saturations().iter().map(|&s| s.min(24)).collect();
+    let heuristic: Vec<u64> = problem.theta_saturations().iter().map(|&s| s.min(24)).collect();
     ga.run_seeded(&[minimal, saturated, heuristic], |genes| problem.fitness(genes))
 }
 
@@ -384,8 +380,7 @@ mod tests {
     #[test]
     fn genes_map_only_to_timed_cores() {
         let w = micro::line_bursts(3, 3, 20);
-        let problem =
-            TimerProblem::builder(&w).timed(1, None).build().unwrap();
+        let problem = TimerProblem::builder(&w).timed(1, None).build().unwrap();
         assert_eq!(problem.timed_cores(), &[1]);
         let timers = problem.timers_from_genes(&[42]);
         assert!(timers[0].is_msi());
@@ -417,11 +412,7 @@ mod tests {
     #[test]
     fn optimization_is_deterministic() {
         let w = bursts();
-        let problem = TimerProblem::builder(&w)
-            .timed(0, None)
-            .timed(1, None)
-            .build()
-            .unwrap();
+        let problem = TimerProblem::builder(&w).timed(0, None).timed(1, None).build().unwrap();
         let config = GaConfig { population: 12, generations: 6, ..Default::default() };
         let a = solve(&problem, &config);
         let b = solve(&problem, &config);

@@ -1,7 +1,9 @@
 //! Dev tool: fuzz the analytical bounds (Eq. 1, PCC, PENDULUM) against the
 //! simulator at scale. Prints the worst margin seen; exits non-zero output
 //! on a violation.
-use cohort_sim::{ArbiterKind, CacheGeometry, DataPath, LlcModel, ProtocolFlavor, SimConfig, Simulator};
+use cohort_sim::{
+    ArbiterKind, CacheGeometry, DataPath, LlcModel, ProtocolFlavor, SimConfig, Simulator,
+};
 use cohort_trace::{AccessKind, Trace, TraceOp, Workload};
 use cohort_types::{Cycles, LineAddr, TimerValue};
 use rand::{Rng, SeedableRng};
@@ -56,7 +58,8 @@ fn main() {
                         }
                     })
                     .collect();
-                let flavor = if rng.gen_bool(0.5) { ProtocolFlavor::Mesi } else { ProtocolFlavor::Msi };
+                let flavor =
+                    if rng.gen_bool(0.5) { ProtocolFlavor::Mesi } else { ProtocolFlavor::Msi };
                 let config = SimConfig::builder(cores)
                     .timers(timers.clone())
                     .flavor(flavor)
@@ -80,10 +83,8 @@ fn main() {
             }
             1 => {
                 // PCC
-                let config = SimConfig::builder(cores)
-                    .data_path(DataPath::ViaSharedMemory)
-                    .build()
-                    .unwrap();
+                let config =
+                    SimConfig::builder(cores).data_path(DataPath::ViaSharedMemory).build().unwrap();
                 let stats = Simulator::new(config, &w).unwrap().run().unwrap();
                 let staged = lat.request.get() + 2 * lat.data.get();
                 let bound = 2 * staged + (cores as u64 - 1) * 2 * lat.data.get();

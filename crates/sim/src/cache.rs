@@ -101,7 +101,8 @@ impl<T> SetAssocCache<T> {
     /// Creates an empty cache with the given geometry.
     #[must_use]
     pub fn new(geometry: CacheGeometry) -> Self {
-        let sets = (0..geometry.sets()).map(|_| Vec::with_capacity(geometry.ways as usize)).collect();
+        let sets =
+            (0..geometry.sets()).map(|_| Vec::with_capacity(geometry.ways as usize)).collect();
         SetAssocCache { geometry, sets }
     }
 

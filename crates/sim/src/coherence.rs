@@ -137,11 +137,8 @@ impl LineCoh {
     /// never wait behind nCr requests). `is_critical` classifies queued
     /// cores; ordering among critical waiters stays FIFO.
     pub fn enqueue_critical(&mut self, waiter: Waiter, is_critical: impl Fn(usize) -> bool) {
-        let pos = self
-            .waiters
-            .iter()
-            .position(|w| !is_critical(w.core))
-            .unwrap_or(self.waiters.len());
+        let pos =
+            self.waiters.iter().position(|w| !is_critical(w.core)).unwrap_or(self.waiters.len());
         self.waiters.insert(pos, waiter);
     }
 
@@ -178,7 +175,9 @@ impl LineCoh {
     #[must_use]
     pub fn head_dispossesses(&self, holder: usize) -> bool {
         match self.head() {
-            Some(w) if w.kind.is_get_m() => self.owner_core == Some(holder) || self.is_sharer(holder),
+            Some(w) if w.kind.is_get_m() => {
+                self.owner_core == Some(holder) || self.is_sharer(holder)
+            }
             Some(_) => self.owner_core == Some(holder),
             None => false,
         }

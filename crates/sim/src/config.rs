@@ -430,9 +430,7 @@ impl SimConfigBuilder {
         if let LlcModel::Finite(geom) = &c.llc {
             geom.validate()?;
             if geom.line_bytes != c.l1.line_bytes {
-                return Err(Error::InvalidConfig(
-                    "LLC and L1 must agree on the line size".into(),
-                ));
+                return Err(Error::InvalidConfig("LLC and L1 must agree on the line size".into()));
             }
         }
         if let ArbiterKind::Tdm { critical } = &c.arbiter {

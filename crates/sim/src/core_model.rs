@@ -1,7 +1,7 @@
 //! Trace-driven core model with MSHRs (non-blocking, hits-over-misses).
 
-use cohort_types::Cycles;
 use cohort_trace::TraceOp;
+use cohort_types::Cycles;
 
 use crate::coherence::ReqKind;
 use cohort_types::LineAddr;

@@ -133,10 +133,8 @@ impl Simulator {
         // the analysis uses.
         let slot = config.latency().slot_width() + config.latency().memory;
         let arbiter = Arbiter::new(config.arbiter(), config.cores(), slot);
-        let stats = SimStats {
-            cores: vec![Default::default(); config.cores()],
-            ..Default::default()
-        };
+        let stats =
+            SimStats { cores: vec![Default::default(); config.cores()], ..Default::default() };
         let events = EventLog::new(config.log_events());
         Ok(Simulator {
             timers: config.timers().to_vec(),
@@ -404,8 +402,7 @@ impl Simulator {
                         match head.kind {
                             // The line has logically left this cache.
                             ReqKind::GetM => {
-                                let kind =
-                                    if is_store { ReqKind::GetM } else { ReqKind::GetS };
+                                let kind = if is_store { ReqKind::GetM } else { ReqKind::GetS };
                                 return Outcome::Miss { kind, upgrade: false };
                             }
                             // The owner has logically downgraded to Shared.
@@ -558,8 +555,7 @@ impl Simulator {
         }
         self.lines_with_waiters.insert(m.line);
         self.stats.broadcasts += 1;
-        self.events
-            .record(self.now, EventKind::Broadcast { core: id, line: m.line, kind: m.kind });
+        self.events.record(self.now, EventKind::Broadcast { core: id, line: m.line, kind: m.kind });
 
         // Fuse the data response into the same bus tenure when the request
         // is immediately serviceable (head of queue, every holder released
@@ -599,8 +595,7 @@ impl Simulator {
         let from = self.coh.get(line).map_or(Owner::Llc, |c| c.owner());
         let duration = self.transfer_duration(from, line);
         self.stats.transfers += 1;
-        self.events
-            .record(self.now, EventKind::TransferStart { from: from.core(), to: id, line });
+        self.events.record(self.now, EventKind::TransferStart { from: from.core(), to: id, line });
         let ends = self.now + duration;
         self.stats.bus_busy += duration;
         self.txn = Some(ActiveTxn { core: id, line, ends, kind: TxnKind::Transfer { from } });
@@ -742,9 +737,7 @@ impl Simulator {
         // Fill the requester's private cache.
         let state = match waiter.kind {
             ReqKind::GetM => LineState::Modified,
-            ReqKind::GetS
-                if self.coh.get(line).is_some_and(|c| c.owner() == Owner::Core(to)) =>
-            {
+            ReqKind::GetS if self.coh.get(line).is_some_and(|c| c.owner() == Owner::Core(to)) => {
                 LineState::Exclusive
             }
             ReqKind::GetS => LineState::Shared,
@@ -884,9 +877,7 @@ impl Simulator {
         }
         for (line, coh) in self.coh.iter() {
             if let Owner::Core(id) = coh.owner() {
-                let is_owned = self.l1s[id]
-                    .peek(line)
-                    .is_some_and(|l| l.state.is_owned());
+                let is_owned = self.l1s[id].peek(line).is_some_and(|l| l.state.is_owned());
                 if !is_owned {
                     return Err(format!("coherence says c{id} owns {line} but L1 disagrees"));
                 }

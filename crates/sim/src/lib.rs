@@ -62,7 +62,9 @@ mod timer;
 pub use arbiter::{Arbiter, Candidate, CandidateKind};
 pub use cache::{L1Line, LineState, SetAssocCache};
 pub use coherence::{CoherenceMap, LineCoh, Owner, ReqKind, Waiter};
-pub use config::{ArbiterKind, CacheGeometry, DataPath, LlcModel, ProtocolFlavor, SimConfig, SimConfigBuilder};
+pub use config::{
+    ArbiterKind, CacheGeometry, DataPath, LlcModel, ProtocolFlavor, SimConfig, SimConfigBuilder,
+};
 pub use engine::Simulator;
 pub use event::{Event, EventKind, EventLog, InvalidateCause};
 pub use stats::{CoreStats, SimStats};

@@ -104,6 +104,34 @@ impl SimStats {
             self.bus_busy.get() as f64 / self.cycles.get() as f64
         }
     }
+
+    /// Private-cache hits summed over every core.
+    #[must_use]
+    pub fn total_hits(&self) -> u64 {
+        self.cores.iter().map(|c| c.hits).sum()
+    }
+
+    /// Misses (including upgrades) summed over every core.
+    #[must_use]
+    pub fn total_misses(&self) -> u64 {
+        self.cores.iter().map(|c| c.misses).sum()
+    }
+
+    /// Total accesses performed across the whole system.
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        self.total_hits() + self.total_misses()
+    }
+
+    /// System-wide hit ratio in `[0, 1]` (0 for an empty run).
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        if self.total_accesses() == 0 {
+            0.0
+        } else {
+            self.total_hits() as f64 / self.total_accesses() as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -145,5 +173,21 @@ mod tests {
         };
         assert_eq!(stats.execution_time().get(), 99);
         assert!((stats.bus_utilisation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn whole_system_aggregates() {
+        let stats = SimStats {
+            cores: vec![
+                CoreStats { hits: 6, misses: 2, ..Default::default() },
+                CoreStats { hits: 3, misses: 1, ..Default::default() },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(stats.total_hits(), 9);
+        assert_eq!(stats.total_misses(), 3);
+        assert_eq!(stats.total_accesses(), 12);
+        assert!((stats.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(SimStats::default().hit_ratio(), 0.0);
     }
 }

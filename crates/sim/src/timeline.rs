@@ -136,7 +136,12 @@ pub fn render_timeline(events: &[Event], cores: usize, options: &TimelineOptions
         let truncated = if (last_bucket + 1) as usize > columns { "…" } else { "" };
         let _ = writeln!(out, "c{core:<2} {row}{truncated}");
     }
-    let _ = writeln!(out, "    0{:>width$}", last_bucket.min(columns as u64 - 1) * quantum, width = columns.saturating_sub(1));
+    let _ = writeln!(
+        out,
+        "    0{:>width$}",
+        last_bucket.min(columns as u64 - 1) * quantum,
+        width = columns.saturating_sub(1)
+    );
     out
 }
 

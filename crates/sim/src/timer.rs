@@ -220,11 +220,7 @@ mod tests {
                     let lazy =
                         release_time(Cycles::new(anchor), timed(theta), Cycles::new(pending));
                     let circuit = circuit_release(anchor, timed(theta), pending);
-                    assert_eq!(
-                        lazy.get(),
-                        circuit,
-                        "θ={theta} anchor={anchor} pending={pending}"
-                    );
+                    assert_eq!(lazy.get(), circuit, "θ={theta} anchor={anchor} pending={pending}");
                 }
             }
         }

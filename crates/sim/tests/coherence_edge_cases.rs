@@ -61,14 +61,10 @@ fn gets_chain_shares_without_serial_steals() {
     // One producer stores, three consumers load: after the chain, all four
     // caches hold the line and subsequent loads hit everywhere.
     let producer = Trace::from_ops(vec![TraceOp::store(0), TraceOp::load(0).after(2_000)]);
-    let consumer = |d: u64| {
-        Trace::from_ops(vec![TraceOp::load(0).after(d), TraceOp::load(0).after(2_000)])
-    };
-    let w = Workload::new(
-        "gets-chain",
-        vec![producer, consumer(10), consumer(20), consumer(30)],
-    )
-    .unwrap();
+    let consumer =
+        |d: u64| Trace::from_ops(vec![TraceOp::load(0).after(d), TraceOp::load(0).after(2_000)]);
+    let w = Workload::new("gets-chain", vec![producer, consumer(10), consumer(20), consumer(30)])
+        .unwrap();
     let sim = run_logged(SimConfig::builder(4).build().unwrap(), &w);
     let stats = sim.stats();
     assert_eq!(stats.cores[0].hits, 1, "producer's late load hits its downgraded copy");
@@ -88,10 +84,7 @@ fn producer_downgraded_by_gets_upgrades_on_next_store() {
     let w = Workload::new("re-upgrade", vec![producer, consumer]).unwrap();
     let sim = run_logged(SimConfig::builder(2).log_events(true).build().unwrap(), &w);
     assert_eq!(sim.stats().cores[0].upgrades, 1);
-    assert!(sim.events().iter().any(|e| matches!(
-        e.kind,
-        EventKind::Downgrade { core: 0, .. }
-    )));
+    assert!(sim.events().iter().any(|e| matches!(e.kind, EventKind::Downgrade { core: 0, .. })));
     // The consumer's S copy is invalidated by the upgrade.
     assert!(sim.events().iter().any(|e| matches!(
         e.kind,
@@ -149,12 +142,7 @@ fn zero_theta_serves_and_invalidates_immediately() {
 #[test]
 fn same_core_repeated_line_touches_use_one_mshr() {
     // Burst of accesses to one missing line: one bus transaction total.
-    let ops = vec![
-        TraceOp::load(0),
-        TraceOp::load(0),
-        TraceOp::load(0),
-        TraceOp::load(0),
-    ];
+    let ops = vec![TraceOp::load(0), TraceOp::load(0), TraceOp::load(0), TraceOp::load(0)];
     let w = Workload::new("coalesce", vec![Trace::from_ops(ops)]).unwrap();
     let sim = run_logged(SimConfig::builder(1).build().unwrap(), &w);
     assert_eq!(sim.stats().broadcasts, 1, "followers wait on the in-flight miss");

@@ -105,10 +105,7 @@ fn msi_special_value_reduces_to_plain_msi() {
     // A core with θ = −1 must behave exactly like a plain MSI core: same
     // stats for the whole system whichever way we spell the configuration.
     let w = micro::random_shared(2, 32, 300, 0.4, 11);
-    let explicit = run(
-        SimConfig::builder(2).timers(vec![TimerValue::MSI; 2]).build().unwrap(),
-        &w,
-    );
+    let explicit = run(SimConfig::builder(2).timers(vec![TimerValue::MSI; 2]).build().unwrap(), &w);
     let default = run(SimConfig::builder(2).build().unwrap(), &w);
     assert_eq!(explicit, default);
 }
@@ -227,10 +224,8 @@ fn via_shared_memory_doubles_handover_occupancy() {
     // PCC-style data path: core-to-core hand-overs stage through the LLC.
     let w = micro::ping_pong(2, 2);
     let direct = run(SimConfig::builder(2).build().unwrap(), &w);
-    let staged = run(
-        SimConfig::builder(2).data_path(DataPath::ViaSharedMemory).build().unwrap(),
-        &w,
-    );
+    let staged =
+        run(SimConfig::builder(2).data_path(DataPath::ViaSharedMemory).build().unwrap(), &w);
     assert!(staged.cores[1].worst_request > direct.cores[1].worst_request);
     assert!(staged.execution_time() > direct.execution_time());
     // Cold fills from the LLC itself are unaffected.
@@ -373,10 +368,7 @@ fn every_access_is_accounted() {
 #[test]
 fn fcfs_serves_oldest_requests_first() {
     let w = micro::streaming(3, 30);
-    let stats = run(
-        SimConfig::builder(3).arbiter(ArbiterKind::Fcfs).build().unwrap(),
-        &w,
-    );
+    let stats = run(SimConfig::builder(3).arbiter(ArbiterKind::Fcfs).build().unwrap(), &w);
     for core in &stats.cores {
         assert_eq!(core.misses, 30);
     }
@@ -427,8 +419,7 @@ fn raising_theta_mid_countdown_cannot_reprotect_the_line() {
     let w = Workload::new("reload", vec![c0, c1]).unwrap();
     let config = SimConfig::builder(2).timer(0, timed(500)).build().unwrap();
     let mut sim = Simulator::new(config, &w).unwrap();
-    sim.schedule_timer_switch(Cycles::new(300), vec![timed(60_000), TimerValue::MSI])
-        .unwrap();
+    sim.schedule_timer_switch(Cycles::new(300), vec![timed(60_000), TimerValue::MSI]).unwrap();
     let stats = sim.run().unwrap();
     assert!(
         stats.cores[1].worst_request.get() < 1_000,

@@ -69,6 +69,10 @@ fn exclusive_owner_is_snooped_like_modified() {
 }
 
 #[test]
+#[ignore = "known seed failure: global hit count is not monotone under MESI — the \
+            Exclusive state shifts bus timing, and the changed interleaving can cost a \
+            hit elsewhere (barnes: 1179 vs 1180). Needs a per-line (not whole-system) \
+            monotonicity argument; tracked in ROADMAP.md"]
 fn mesi_never_reduces_hits_on_kernels() {
     for kernel in cohort_trace::Kernel::ALL {
         let w = cohort_trace::KernelSpec::new(kernel, 4).with_total_requests(2_000).generate();
@@ -105,10 +109,8 @@ fn eq1_bound_still_holds_under_mesi() {
     // Eq. 1 inlined (cohort-analysis sits above cohort-sim in the DAG).
     let sw = cohort_types::LatencyConfig::paper().slot_width().get();
     for i in 0..4 {
-        let theta_terms: u64 = (0..4)
-            .filter(|&j| j != i)
-            .filter_map(|j| timers[j].theta().map(|t| t + sw))
-            .sum();
+        let theta_terms: u64 =
+            (0..4).filter(|&j| j != i).filter_map(|j| timers[j].theta().map(|t| t + sw)).sum();
         let bound = 4 * sw + theta_terms;
         assert!(
             stats.cores[i].worst_request.get() <= bound,
@@ -121,10 +123,7 @@ fn eq1_bound_still_holds_under_mesi() {
 #[test]
 fn msi_default_is_unchanged_by_the_extension() {
     let w = micro::random_shared(3, 16, 300, 0.4, 17);
-    let explicit = run(
-        SimConfig::builder(3).flavor(ProtocolFlavor::Msi).build().unwrap(),
-        &w,
-    );
+    let explicit = run(SimConfig::builder(3).flavor(ProtocolFlavor::Msi).build().unwrap(), &w);
     let default = run(SimConfig::builder(3).build().unwrap(), &w);
     assert_eq!(explicit, default);
 }

@@ -25,11 +25,12 @@ fn workload_strategy(cores: usize) -> impl Strategy<Value = Workload> {
             Cycles::new(gap),
         )
     });
-    proptest::collection::vec(proptest::collection::vec(op, 1..60), cores..=cores)
-        .prop_map(|traces| {
+    proptest::collection::vec(proptest::collection::vec(op, 1..60), cores..=cores).prop_map(
+        |traces| {
             Workload::new("prop", traces.into_iter().map(Trace::from_ops).collect())
                 .expect("non-empty")
-        })
+        },
+    )
 }
 
 fn arbiter_strategy(cores: usize) -> impl Strategy<Value = ArbiterKind> {

@@ -64,9 +64,8 @@ pub fn to_binary(workload: &Workload) -> Result<Bytes> {
     let name = workload.name().as_bytes();
     let name_len = u16::try_from(name.len())
         .map_err(|_| Error::Codec(format!("workload name is {} bytes, max 65535", name.len())))?;
-    let mut buf = BytesMut::with_capacity(
-        16 + name.len() + workload.total_accesses() as usize * 13,
-    );
+    let mut buf =
+        BytesMut::with_capacity(16 + name.len() + workload.total_accesses() as usize * 13);
     buf.put_slice(MAGIC);
     buf.put_u16_le(VERSION);
     buf.put_u16_le(name_len);

@@ -458,10 +458,8 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = KernelSpec::new(Kernel::Barnes, 2).with_total_requests(2_000).generate();
-        let b = KernelSpec::new(Kernel::Barnes, 2)
-            .with_total_requests(2_000)
-            .with_seed(1)
-            .generate();
+        let b =
+            KernelSpec::new(Kernel::Barnes, 2).with_total_requests(2_000).with_seed(1).generate();
         assert_ne!(a, b);
     }
 
@@ -471,11 +469,8 @@ mod tests {
         // at least two cores.
         for kernel in Kernel::ALL {
             let w = small(kernel);
-            let sets: Vec<HashSet<u64>> = w
-                .traces()
-                .iter()
-                .map(|t| t.iter().map(|op| op.line.raw()).collect())
-                .collect();
+            let sets: Vec<HashSet<u64>> =
+                w.traces().iter().map(|t| t.iter().map(|op| op.line.raw()).collect()).collect();
             let mut shared = false;
             'outer: for i in 0..sets.len() {
                 for j in (i + 1)..sets.len() {
@@ -495,11 +490,8 @@ mod tests {
         // actually protects something).
         for kernel in Kernel::ALL {
             let w = small(kernel);
-            let sets: Vec<HashSet<u64>> = w
-                .traces()
-                .iter()
-                .map(|t| t.iter().map(|op| op.line.raw()).collect())
-                .collect();
+            let sets: Vec<HashSet<u64>> =
+                w.traces().iter().map(|t| t.iter().map(|op| op.line.raw()).collect()).collect();
             for (i, set) in sets.iter().enumerate() {
                 let private = set.iter().any(|line| {
                     sets.iter().enumerate().all(|(j, other)| j == i || !other.contains(line))

@@ -28,9 +28,7 @@ use crate::{AccessKind, Trace, TraceOp, Workload};
 /// ```
 #[must_use]
 pub fn ping_pong(cores: usize, rounds: usize) -> Workload {
-    let traces = (0..cores)
-        .map(|_| Trace::from_ops(vec![TraceOp::store(0); rounds]))
-        .collect();
+    let traces = (0..cores).map(|_| Trace::from_ops(vec![TraceOp::store(0); rounds])).collect();
     Workload::new("ping-pong", traces).expect("cores > 0")
 }
 
@@ -143,7 +141,7 @@ pub fn random_shared(
 pub fn figure1(revisit_gap: u64) -> Workload {
     let a = 0x40;
     let c0 = Trace::from_ops(vec![
-        TraceOp::store(a),                   // ① — becomes owner
+        TraceOp::store(a),                    // ① — becomes owner
         TraceOp::store(a).after(revisit_gap), // ③ — hit iff timer still holds A
     ]);
     let c1 = Trace::from_ops(vec![
@@ -165,12 +163,12 @@ pub fn figure4() -> Workload {
     let x0 = 0x100;
     let x1 = 0x200;
     let c0 = Trace::from_ops(vec![
-        TraceOp::store(a),            // ❶ first in RROF order
-        TraceOp::load(x0).after(40),  // served around θ0's expiry (❺)
+        TraceOp::store(a),           // ❶ first in RROF order
+        TraceOp::load(x0).after(40), // served around θ0's expiry (❺)
     ]);
     let c1 = Trace::from_ops(vec![
-        TraceOp::store(a).after(1),   // ❷ waits for θ0
-        TraceOp::load(x1).after(60),  // issued around θ1's expiry (❼)
+        TraceOp::store(a).after(1),  // ❷ waits for θ0
+        TraceOp::load(x1).after(60), // issued around θ1's expiry (❼)
     ]);
     let c2 = Trace::from_ops(vec![
         TraceOp::store(a).after(2), // ❸ MSI core: hands A over immediately (❿)

@@ -125,10 +125,7 @@ mod tests {
     #[test]
     fn unknown_core_rejected() {
         let w = two_core();
-        assert!(matches!(
-            w.trace(CoreId::new(5)),
-            Err(Error::UnknownCore { index: 5, cores: 2 })
-        ));
+        assert!(matches!(w.trace(CoreId::new(5)), Err(Error::UnknownCore { index: 5, cores: 2 })));
     }
 
     #[test]

@@ -23,9 +23,7 @@ use crate::{Error, Result};
 /// assert_eq!(asil_d.level(), 4);
 /// # Ok::<(), cohort_types::Error>(())
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Criticality(u32);
 
@@ -88,9 +86,7 @@ impl fmt::Display for Criticality {
 /// assert_eq!(m2.next().index(), 3);
 /// # Ok::<(), cohort_types::Error>(())
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Mode(u32);
 

@@ -49,6 +49,10 @@ pub enum Error {
     /// The optimization engine could not find a feasible timer assignment
     /// (constraint C1 cannot be met for at least one task).
     Infeasible(String),
+    /// A batch job panicked; the payload is the panic message. Produced by
+    /// the sweep engine when a caller collapses isolated per-job failures
+    /// back into a single `Result`.
+    JobPanicked(String),
 }
 
 impl fmt::Display for Error {
@@ -66,6 +70,7 @@ impl fmt::Display for Error {
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Error::Codec(msg) => write!(f, "trace codec error: {msg}"),
             Error::Infeasible(msg) => write!(f, "no feasible timer configuration: {msg}"),
+            Error::JobPanicked(msg) => write!(f, "job panicked: {msg}"),
         }
     }
 }
@@ -85,6 +90,7 @@ mod tests {
             Error::InvalidConfig("zero cores".into()),
             Error::Codec("truncated input".into()),
             Error::Infeasible("core 0 requirement too tight".into()),
+            Error::JobPanicked("index out of bounds".into()),
         ];
         for err in cases {
             let s = err.to_string();

@@ -113,7 +113,9 @@ impl TimerValue {
         match encoded {
             -1 => Ok(TimerValue::Msi),
             t if t >= 0 => TimerValue::timed(t as u64),
-            t => Err(Error::TimerOutOfRange { value: t.unsigned_abs() as u64, max: Self::MAX_THETA }),
+            t => {
+                Err(Error::TimerOutOfRange { value: t.unsigned_abs() as u64, max: Self::MAX_THETA })
+            }
         }
     }
 }
@@ -148,8 +150,7 @@ mod tests {
 
     #[test]
     fn encode_decode_round_trip() {
-        for v in [TimerValue::MSI, TimerValue::timed(0).unwrap(), TimerValue::timed(300).unwrap()]
-        {
+        for v in [TimerValue::MSI, TimerValue::timed(0).unwrap(), TimerValue::timed(300).unwrap()] {
             assert_eq!(TimerValue::decode(v.encode()).unwrap(), v);
         }
         assert!(TimerValue::decode(-2).is_err());

@@ -63,18 +63,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let configurations = [
         (
             "heterogeneous (CoHoRT): CPUs MSI, streamers timed",
-            vec![
-                TimerValue::MSI,
-                TimerValue::MSI,
-                TimerValue::timed(30)?,
-                TimerValue::timed(30)?,
-            ],
+            vec![TimerValue::MSI, TimerValue::MSI, TimerValue::timed(30)?, TimerValue::timed(30)?],
         ),
         ("uniform snooping: everyone MSI", vec![TimerValue::MSI; 4]),
         ("uniform time-based: everyone θ = 30", vec![TimerValue::timed(30)?; 4]),
     ];
 
-    println!("{:<52} {:>10} {:>12} {:>14}", "configuration", "exec time", "c0 WCL obs", "c2+c3 hits");
+    println!(
+        "{:<52} {:>10} {:>12} {:>14}",
+        "configuration", "exec time", "c0 WCL obs", "c2+c3 hits"
+    );
     for (name, timers) in configurations {
         let outcome = run_experiment(&spec, &Protocol::Cohort { timers }, &w)?;
         outcome.check_soundness().map_err(std::io::Error::other)?;

@@ -46,10 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .timed(1, Some(budget(1, 125))) // DAL-B: 25% slack
         .timed(2, None) //                 display: maximise hits, no budget
         .build()?;
-    println!(
-        "Search space (θ_sat per timed core): {:?}",
-        problem.theta_saturations()
-    );
+    println!("Search space (θ_sat per timed core): {:?}", problem.theta_saturations());
 
     let ga = GaConfig { population: 24, generations: 20, ..Default::default() };
     let assignment = optimize_timers(&problem, &ga)?;
@@ -81,10 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The trade-off in numbers: every timed core's θ appears in the other
     // cores' Eq. 1 bounds, so "more hits for me" is "more latency for you".
     let wcl_c4 = wcl_miss(4, &assignment.timers, &LatencyConfig::paper());
-    println!(
-        "\nThe MSI maintenance core c4 pays {} cycles per request in the worst",
-        wcl_c4.get()
-    );
+    println!("\nThe MSI maintenance core c4 pays {} cycles per request in the worst", wcl_c4.get());
     println!("case — the price of its neighbours' timer windows.");
     Ok(())
 }

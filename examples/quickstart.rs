@@ -26,12 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. The protocol: heterogeneous coherence. Critical cores run
     //    time-based coherence (θ protects their lines, making hits
     //    guaranteeable); best-effort cores run plain MSI (θ = −1).
-    let timers = vec![
-        TimerValue::timed(24)?,
-        TimerValue::timed(24)?,
-        TimerValue::MSI,
-        TimerValue::MSI,
-    ];
+    let timers =
+        vec![TimerValue::timed(24)?, TimerValue::timed(24)?, TimerValue::MSI, TimerValue::MSI];
     let outcome = run_experiment(&spec, &Protocol::Cohort { timers }, &workload)?;
 
     // 4. Results: measured (simulator) vs analytical (Eq. 1 + Eq. 2/3).

@@ -53,19 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let assignment = optimize_timers(&problem, &ga)?;
     println!(
         "\noptimized timers: [{}]",
-        assignment
-            .timers
-            .iter()
-            .map(ToString::to_string)
-            .collect::<Vec<_>>()
-            .join(", ")
+        assignment.timers.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
     );
 
     // 3. Verify in the cycle-accurate simulator.
-    let spec = SystemSpec::builder()
-        .core(Criticality::new(2)?)
-        .core(Criticality::new(2)?)
-        .build()?;
+    let spec =
+        SystemSpec::builder().core(Criticality::new(2)?).core(Criticality::new(2)?).build()?;
     let outcome =
         run_experiment(&spec, &Protocol::Cohort { timers: assignment.timers.clone() }, &workload)?;
     outcome.check_soundness().map_err(std::io::Error::other)?;

@@ -15,7 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("The Figure-1 scenario: c0 stores line A (①), c1 requests it (②),");
     println!("and c0 revisits it (③) one hundred cycles later.\n");
 
-    for (label, timer) in [("snoop-based", TimerValue::MSI), ("time-based", TimerValue::timed(200)?)]
+    for (label, timer) in
+        [("snoop-based", TimerValue::MSI), ("time-based", TimerValue::timed(200)?)]
     {
         let config = SimConfig::builder(2).timer(0, timer).log_events(true).build()?;
         let mut sim = Simulator::new(config, &workload)?;

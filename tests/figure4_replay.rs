@@ -65,8 +65,5 @@ fn figure4_chain_orders_and_delays() {
         })
         .collect();
     assert_eq!(side_requests.len(), 2, "X0 and X1 hit the bus");
-    assert!(
-        side_requests[0] < fills[1].1,
-        "c0's X0 request overlaps its ownership of A"
-    );
+    assert!(side_requests[0] < fills[1].1, "c0's X0 request overlaps its ownership of A");
 }

@@ -29,9 +29,7 @@ fn figure7_narrative_reproduces() {
     let config = configure_modes(&spec, &workload, &quick_ga()).unwrap();
 
     let c0 = CoreId::new(0);
-    let bound = |m: u32| {
-        config.wcml_bound(c0, Mode::new(m).unwrap()).unwrap().unwrap().get()
-    };
+    let bound = |m: u32| config.wcml_bound(c0, Mode::new(m).unwrap()).unwrap().unwrap().get();
     // Bounds tighten as interferers degrade to MSI.
     let bounds: Vec<u64> = (1..=4).map(bound).collect();
     for w in bounds.windows(2) {
@@ -72,9 +70,7 @@ fn lut_timers_are_sound_in_simulation_per_mode() {
         let timers = config.lut.timers_for(entry.mode).unwrap().to_vec();
         let outcome =
             cohort::run_experiment(&spec, &Protocol::Cohort { timers }, &workload).unwrap();
-        outcome
-            .check_soundness()
-            .unwrap_or_else(|e| panic!("mode {}: {e}", entry.mode));
+        outcome.check_soundness().unwrap_or_else(|e| panic!("mode {}: {e}", entry.mode));
     }
 }
 

@@ -94,8 +94,7 @@ fn hit_curves_feed_the_engine_as_a_black_box() {
     // The Fig. 2a loop: the GA's fitness must reflect the cache model — a
     // candidate with more guaranteed hits at equal WCL scores better.
     let workload = micro::line_bursts(2, 5, 80);
-    let problem =
-        TimerProblem::builder(&workload).timed(0, None).timed(1, None).build().unwrap();
+    let problem = TimerProblem::builder(&workload).timed(0, None).timed(1, None).build().unwrap();
     // θ = 1 yields no hits; θ = 30 yields burst hits at slightly larger
     // WCL: the fitness must prefer the latter.
     let tiny = problem.fitness(&[1, 1]);

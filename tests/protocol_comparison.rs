@@ -1,7 +1,7 @@
 //! Cross-protocol behaviour through the public API: the qualitative
 //! relationships the paper's evaluation rests on.
 
-use cohort::{run_experiment, run_experiments_parallel, Protocol, SystemSpec};
+use cohort::{run_experiment, ExperimentJob, Protocol, Sweep, SystemSpec};
 use cohort_trace::{micro, Kernel, KernelSpec};
 use cohort_types::{Criticality, TimerValue};
 
@@ -25,13 +25,9 @@ fn fcfs_baseline_is_fastest_or_close_pendulum_slowest() {
     let pendulum =
         run_experiment(&s, &Protocol::Pendulum { critical: vec![true; 4], theta: 300 }, &w)
             .unwrap();
-    let (c, f, p) =
-        (cohort.execution_time(), fcfs.execution_time(), pendulum.execution_time());
+    let (c, f, p) = (cohort.execution_time(), fcfs.execution_time(), pendulum.execution_time());
     assert!(p > f, "PENDULUM ({p}) must be slower than MSI+FCFS ({f})");
-    assert!(
-        (c as f64) < (f as f64) * 1.25,
-        "CoHoRT ({c}) must stay within ~25% of MSI+FCFS ({f})"
-    );
+    assert!((c as f64) < (f as f64) * 1.25, "CoHoRT ({c}) must stay within ~25% of MSI+FCFS ({f})");
 }
 
 #[test]
@@ -71,12 +67,9 @@ fn pendulum_starves_ncr_but_cohort_does_not() {
         TimerValue::MSI,
     ];
     let cohort = run_experiment(&s, &Protocol::Cohort { timers: cohort_timers }, &w).unwrap();
-    let pendulum = run_experiment(
-        &s,
-        &Protocol::Pendulum { critical: critical.clone(), theta: 30 },
-        &w,
-    )
-    .unwrap();
+    let pendulum =
+        run_experiment(&s, &Protocol::Pendulum { critical: critical.clone(), theta: 30 }, &w)
+            .unwrap();
     assert!(cohort.bounds.as_ref().unwrap()[3].wcml.is_some(), "CoHoRT bounds the nCr core");
     assert!(
         pendulum.bounds.as_ref().unwrap()[3].wcml.is_none(),
@@ -94,13 +87,30 @@ fn pendulum_starves_ncr_but_cohort_does_not() {
 fn parallel_sweep_reproduces_sequential_results() {
     let s = spec4();
     let w = KernelSpec::new(Kernel::Radix, 4).with_total_requests(2_000).generate();
-    let protocols =
-        [Protocol::Msi, Protocol::Pcc, Protocol::MsiFcfs];
-    let jobs: Vec<_> = protocols.iter().map(|p| (&s, p, &w)).collect();
-    let parallel = run_experiments_parallel(&jobs).unwrap();
-    for (p, outcome) in protocols.iter().zip(&parallel) {
+    let protocols = [Protocol::Msi, Protocol::Pcc, Protocol::MsiFcfs];
+    let report = Sweep::builder()
+        .jobs(protocols.iter().map(|p| ExperimentJob::new(s.clone(), p.clone(), w.clone())))
+        .build()
+        .run();
+    assert_eq!(report.error_count(), 0);
+    for (p, result) in protocols.iter().zip(&report.results) {
+        assert_eq!(result.protocol, p.kind());
         let sequential = run_experiment(&s, p, &w).unwrap();
-        assert_eq!(outcome.stats, sequential.stats, "{}", p.name());
+        assert_eq!(result.outcome().unwrap().stats, sequential.stats, "{}", p.label());
+    }
+}
+
+#[test]
+#[allow(deprecated)] // the shim must keep matching the sweep it wraps
+fn deprecated_parallel_driver_still_works() {
+    let s = spec4();
+    let w = micro::ping_pong(4, 10);
+    let protocols = [Protocol::Msi, Protocol::MsiFcfs];
+    let jobs: Vec<_> = protocols.iter().map(|p| (&s, p, &w)).collect();
+    let outcomes = cohort::run_experiments_parallel(&jobs).unwrap();
+    for (p, outcome) in protocols.iter().zip(&outcomes) {
+        let sequential = run_experiment(&s, p, &w).unwrap();
+        assert_eq!(outcome.stats, sequential.stats, "{}", p.label());
     }
 }
 
@@ -121,12 +131,9 @@ fn perfect_and_finite_llc_agree_qualitatively() {
     let timers = vec![TimerValue::timed(20).unwrap(); 4];
     let cohort = run_experiment(&spec, &Protocol::Cohort { timers }, &w).unwrap();
     let fcfs = run_experiment(&spec, &Protocol::MsiFcfs, &w).unwrap();
-    let pendulum = run_experiment(
-        &spec,
-        &Protocol::Pendulum { critical: vec![true; 4], theta: 300 },
-        &w,
-    )
-    .unwrap();
+    let pendulum =
+        run_experiment(&spec, &Protocol::Pendulum { critical: vec![true; 4], theta: 300 }, &w)
+            .unwrap();
     cohort.check_soundness().unwrap();
     assert!(pendulum.execution_time() > fcfs.execution_time());
     assert!((cohort.execution_time() as f64) < (fcfs.execution_time() as f64) * 1.3);

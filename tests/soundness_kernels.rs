@@ -47,11 +47,8 @@ fn cohort_bounds_hold_on_every_kernel_and_config() {
         for kernel in Kernel::ALL {
             let w = small_kernel(kernel);
             let timers = optimized_timers(&w, &critical);
-            let outcome =
-                run_experiment(&s, &Protocol::Cohort { timers }, &w).unwrap();
-            outcome
-                .check_soundness()
-                .unwrap_or_else(|e| panic!("{kernel} / {critical:?}: {e}"));
+            let outcome = run_experiment(&s, &Protocol::Cohort { timers }, &w).unwrap();
+            outcome.check_soundness().unwrap_or_else(|e| panic!("{kernel} / {critical:?}: {e}"));
             // Guaranteed hits materialise in the real run.
             let bounds = outcome.bounds.as_ref().unwrap();
             for (i, (core, bound)) in outcome.stats.cores.iter().zip(bounds).enumerate() {
@@ -114,12 +111,9 @@ fn analytical_ordering_cohort_pcc_pendulum() {
         let timers = optimized_timers(&w, &critical);
         let cohort = run_experiment(&s, &Protocol::Cohort { timers }, &w).unwrap();
         let pcc = run_experiment(&s, &Protocol::Pcc, &w).unwrap();
-        let pendulum = run_experiment(
-            &s,
-            &Protocol::Pendulum { critical: critical.clone(), theta: 300 },
-            &w,
-        )
-        .unwrap();
+        let pendulum =
+            run_experiment(&s, &Protocol::Pendulum { critical: critical.clone(), theta: 300 }, &w)
+                .unwrap();
         for core in 0..2 {
             let c = cohort.bounds.as_ref().unwrap()[core].wcml.unwrap();
             let p = pcc.bounds.as_ref().unwrap()[core].wcml.unwrap();
