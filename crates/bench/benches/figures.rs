@@ -8,7 +8,7 @@ use std::hint::black_box;
 use cohort::{configure_modes, run_experiment, Protocol, SystemSpec};
 use cohort_bench::{optimize_cohort_timers, sweep_protocols, CritConfig};
 use cohort_optim::GaConfig;
-use cohort_sim::{SimConfig, Simulator};
+use cohort_sim::{EventLogProbe, SimConfig, Simulator};
 use cohort_trace::{micro, Kernel, KernelSpec, Workload};
 use cohort_types::{Criticality, TimerValue};
 
@@ -42,14 +42,11 @@ fn table2(c: &mut Criterion) {
 
 fn fig1(c: &mut Criterion) {
     let workload = micro::figure1(100);
-    let config = SimConfig::builder(2)
-        .timer(0, TimerValue::timed(200).unwrap())
-        .log_events(true)
-        .build()
-        .unwrap();
+    let config = SimConfig::builder(2).timer(0, TimerValue::timed(200).unwrap()).build().unwrap();
     c.bench_function("fig1/replay", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(config.clone(), &workload).unwrap();
+            let mut sim =
+                Simulator::with_probe(config.clone(), &workload, EventLogProbe::new()).unwrap();
             black_box(sim.run().unwrap())
         })
     });
@@ -61,12 +58,12 @@ fn fig4(c: &mut Criterion) {
         .timer(0, TimerValue::timed(40).unwrap())
         .timer(1, TimerValue::timed(40).unwrap())
         .timer(3, TimerValue::timed(40).unwrap())
-        .log_events(true)
         .build()
         .unwrap();
     c.bench_function("fig4/replay", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(config.clone(), &workload).unwrap();
+            let mut sim =
+                Simulator::with_probe(config.clone(), &workload, EventLogProbe::new()).unwrap();
             black_box(sim.run().unwrap())
         })
     });

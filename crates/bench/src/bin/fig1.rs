@@ -8,7 +8,7 @@
 //! cargo run --release -p cohort-bench --bin fig1
 //! ```
 
-use cohort_sim::{EventKind, SimConfig, Simulator};
+use cohort_sim::{EventKind, EventLogProbe, SimConfig, Simulator};
 use cohort_trace::micro;
 use cohort_types::TimerValue;
 
@@ -22,11 +22,11 @@ fn main() {
         ("(a) snoop-based (MSI)", TimerValue::MSI),
         ("(b) time-based (θ0 = 200)", TimerValue::timed(200).expect("small")),
     ] {
-        let config = SimConfig::builder(2).timer(0, timer).log_events(true).build().expect("valid");
-        let mut sim = Simulator::new(config, &workload).expect("sim");
+        let config = SimConfig::builder(2).timer(0, timer).build().expect("valid");
+        let mut sim = Simulator::with_probe(config, &workload, EventLogProbe::new()).expect("sim");
         let stats = sim.run().expect("runs");
         println!("--- {label} ---");
-        for event in sim.events() {
+        for event in sim.probe() {
             let line = match &event.kind {
                 EventKind::Broadcast { core, line, kind } => {
                     format!("c{core} broadcasts {kind:?} for {line}")

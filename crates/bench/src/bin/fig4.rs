@@ -8,7 +8,7 @@
 //! cargo run --release -p cohort-bench --bin fig4
 //! ```
 
-use cohort_sim::{EventKind, SimConfig, Simulator};
+use cohort_sim::{EventKind, EventLogProbe, SimConfig, Simulator};
 use cohort_trace::micro;
 use cohort_types::TimerValue;
 
@@ -18,17 +18,16 @@ fn main() {
         .timer(0, TimerValue::timed(theta).expect("small"))
         .timer(1, TimerValue::timed(theta).expect("small"))
         .timer(3, TimerValue::timed(theta).expect("small"))
-        .log_events(true)
         .build()
         .expect("valid");
     let workload = micro::figure4();
-    let mut sim = Simulator::new(config, &workload).expect("sim");
+    let mut sim = Simulator::with_probe(config, &workload, EventLogProbe::new()).expect("sim");
     sim.run().expect("runs");
 
     println!("Figure 4 — Example operation (c0, c1, c3 timed with θ = {theta}; c2 MSI)");
     println!("All four cores issue a write request to cache line A = L0x40.\n");
     let mut last_fill_of_a: Option<(usize, u64)> = None;
-    for event in sim.events() {
+    for event in sim.probe() {
         let cycle = event.cycle.get();
         let text = match &event.kind {
             EventKind::MissIssued { core, line, .. } if line.raw() == 0x40 => {

@@ -3,12 +3,14 @@
 //! criticality configurations.
 //!
 //! ```text
-//! cargo run --release -p cohort-bench --bin fig5 [-- --config all-cr] [--quick|--full] [--json <path>]
+//! cargo run --release -p cohort-bench --bin fig5 \
+//!     [-- --config all-cr] [--quick|--full] [--json <path>] [--metrics] [--trace <path>]
 //! ```
 
+use cohort::Protocol;
 use cohort_bench::{
-    bench_ga, geomean, json_report, kernels, run_to_json, sweep_protocols, write_json, CliOptions,
-    CritConfig, CORES,
+    bench_ga, geomean, json_report, kernels, run_to_json, sweep_protocols_opts, write_chrome_trace,
+    write_json, CliOptions, CritConfig, CORES,
 };
 
 fn main() {
@@ -18,6 +20,7 @@ fn main() {
     let ga = bench_ga(options.quick);
     let workloads = kernels(CORES, options.full, options.quick);
     let mut records = Vec::new();
+    let mut trace_path = options.trace.as_deref();
 
     println!("Figure 5 — Total WCML: experimental (exp) and analytical (ana), cycles");
     println!("Log-scale bars in the paper; raw cycle counts here.\n");
@@ -39,8 +42,20 @@ fn main() {
         let mut pcc_ratios = Vec::new();
         let mut pend_ratios = Vec::new();
         for workload in &workloads {
-            let runs = sweep_protocols(config, workload, &ga).expect("sweep succeeds");
+            let runs = sweep_protocols_opts(config, workload, &ga, options.metrics)
+                .expect("sweep succeeds");
             records.extend(runs.iter().map(|run| run_to_json(config, run)));
+            if let Some(path) = trace_path.take() {
+                let timers = runs[0].timers.clone().expect("the CoHoRT run carries its timers");
+                write_chrome_trace(path, &config.spec(), &Protocol::Cohort { timers }, workload)
+                    .expect("writable --trace path");
+                println!(
+                    "wrote Chrome trace of {}/{} to {}",
+                    config.slug(),
+                    workload.name(),
+                    path.display()
+                );
+            }
             let (cohort, pcc, pendulum) = (&runs[0].outcome, &runs[1].outcome, &runs[2].outcome);
             for outcome in [cohort, pcc, pendulum] {
                 outcome.check_soundness().expect("bounds dominate measurements");

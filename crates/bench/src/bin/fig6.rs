@@ -2,12 +2,14 @@
 //! and PENDULUM, normalized against standard MSI with a COTS FCFS arbiter.
 //!
 //! ```text
-//! cargo run --release -p cohort-bench --bin fig6 [-- --config all-cr] [--quick|--full] [--json <path>]
+//! cargo run --release -p cohort-bench --bin fig6 \
+//!     [-- --config all-cr] [--quick|--full] [--json <path>] [--metrics] [--trace <path>]
 //! ```
 
+use cohort::Protocol;
 use cohort_bench::{
-    bench_ga, geomean, json_report, kernels, run_to_json, sweep_protocols, write_json, CliOptions,
-    CritConfig, CORES,
+    bench_ga, geomean, json_report, kernels, run_to_json, sweep_protocols_opts, write_chrome_trace,
+    write_json, CliOptions, CritConfig, CORES,
 };
 
 fn main() {
@@ -17,6 +19,7 @@ fn main() {
     let ga = bench_ga(options.quick);
     let workloads = kernels(CORES, options.full, options.quick);
     let mut records = Vec::new();
+    let mut trace_path = options.trace.as_deref();
 
     println!("Figure 6 — Execution time normalized against MSI + FCFS (lower is better)");
     println!("Paper averages (All Cr): CoHoRT 1.03x, PCC 1.13x, PENDULUM 1.50x\n");
@@ -31,8 +34,20 @@ fn main() {
         let mut pcc_slow = Vec::new();
         let mut pend_slow = Vec::new();
         for workload in &workloads {
-            let runs = sweep_protocols(config, workload, &ga).expect("sweep succeeds");
+            let runs = sweep_protocols_opts(config, workload, &ga, options.metrics)
+                .expect("sweep succeeds");
             records.extend(runs.iter().map(|run| run_to_json(config, run)));
+            if let Some(path) = trace_path.take() {
+                let timers = runs[0].timers.clone().expect("the CoHoRT run carries its timers");
+                write_chrome_trace(path, &config.spec(), &Protocol::Cohort { timers }, workload)
+                    .expect("writable --trace path");
+                println!(
+                    "wrote Chrome trace of {}/{} to {}",
+                    config.slug(),
+                    workload.name(),
+                    path.display()
+                );
+            }
             let baseline = runs[3].outcome.execution_time() as f64;
             let norm = |i: usize| runs[i].outcome.execution_time() as f64 / baseline;
             let (c, p, n) = (norm(0), norm(1), norm(2));

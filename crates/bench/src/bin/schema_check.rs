@@ -1,0 +1,219 @@
+//! Validates the machine-readable artifacts of the figure bins: a `--json`
+//! report and/or a `--trace` Chrome-trace file. Exits non-zero on the
+//! first schema violation — CI runs this after a smoke regeneration.
+//!
+//! ```text
+//! cargo run --release -p cohort-bench --bin schema_check -- \
+//!     [--report <report.json>] [--trace <trace.json>]
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+type CheckResult = Result<(), String>;
+
+fn get<'v>(
+    v: &'v serde_json::Value,
+    key: &str,
+    what: &str,
+) -> Result<&'v serde_json::Value, String> {
+    v.get(key).ok_or_else(|| format!("{what}: missing key `{key}`"))
+}
+
+fn expect_u64(v: &serde_json::Value, key: &str, what: &str) -> CheckResult {
+    get(v, key, what)?
+        .as_u64()
+        .map(|_| ())
+        .ok_or_else(|| format!("{what}: `{key}` is not an unsigned integer"))
+}
+
+fn expect_f64(v: &serde_json::Value, key: &str, what: &str) -> CheckResult {
+    get(v, key, what)?
+        .as_f64()
+        .map(|_| ())
+        .ok_or_else(|| format!("{what}: `{key}` is not a number"))
+}
+
+fn expect_str(v: &serde_json::Value, key: &str, what: &str) -> CheckResult {
+    get(v, key, what)?
+        .as_str()
+        .map(|_| ())
+        .ok_or_else(|| format!("{what}: `{key}` is not a string"))
+}
+
+/// Checks one element of a report's `"runs"` array.
+fn check_run(run: &serde_json::Value, index: usize) -> CheckResult {
+    let what = format!("runs[{index}]");
+    for key in ["config", "protocol", "workload"] {
+        expect_str(run, key, &what)?;
+    }
+    for key in ["execution_time", "cycles"] {
+        expect_u64(run, key, &what)?;
+    }
+    for key in ["bus_utilisation", "hit_ratio"] {
+        expect_f64(run, key, &what)?;
+    }
+    // Nullable (non-CoHoRT protocols carry no timers) but always present.
+    get(run, "timers", &what)?;
+    let cores = get(run, "cores", &what)?
+        .as_array()
+        .ok_or_else(|| format!("{what}: `cores` is not an array"))?;
+    if cores.is_empty() {
+        return Err(format!("{what}: empty `cores` array"));
+    }
+    for (i, core) in cores.iter().enumerate() {
+        let core_what = format!("{what}.cores[{i}]");
+        for key in ["hits", "misses", "total_latency", "worst_request"] {
+            expect_u64(core, key, &core_what)?;
+        }
+        for key in ["wcml_bound", "wcl_bound"] {
+            // Bounds are nullable but the keys must exist (stable schema).
+            get(core, key, &core_what)?;
+        }
+    }
+    if let Some(metrics) = run.get("metrics") {
+        check_metrics(metrics, &what)?;
+    }
+    Ok(())
+}
+
+/// Checks an embedded `MetricsReport` (`--metrics` runs only).
+fn check_metrics(metrics: &serde_json::Value, run_what: &str) -> CheckResult {
+    let what = format!("{run_what}.metrics");
+    for key in ["cycles", "bus_busy", "mode_switches"] {
+        expect_u64(metrics, key, &what)?;
+    }
+    expect_f64(metrics, "bus_utilisation", &what)?;
+    let cores = get(metrics, "cores", &what)?
+        .as_array()
+        .ok_or_else(|| format!("{what}: `cores` is not an array"))?;
+    for (i, core) in cores.iter().enumerate() {
+        let core_what = format!("{what}.cores[{i}]");
+        for key in ["accesses", "latency_p50", "latency_p99", "latency_max", "bus_busy"] {
+            expect_u64(core, key, &core_what)?;
+        }
+        let histogram = get(core, "histogram", &core_what)?
+            .as_array()
+            .ok_or_else(|| format!("{core_what}: `histogram` is not an array"))?;
+        let mut total = 0u64;
+        for bucket in histogram {
+            total += get(bucket, "count", &core_what)?
+                .as_u64()
+                .ok_or_else(|| format!("{core_what}: bucket count is not an integer"))?;
+        }
+        let accesses = get(core, "accesses", &core_what)?.as_u64().unwrap_or(0);
+        if total != accesses {
+            return Err(format!(
+                "{core_what}: histogram counts sum to {total}, accesses is {accesses}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks a `--json` report document.
+fn check_report(doc: &serde_json::Value) -> CheckResult {
+    expect_str(doc, "generator", "report")?;
+    let runs = get(doc, "runs", "report")?
+        .as_array()
+        .ok_or_else(|| "report: `runs` is not an array".to_string())?;
+    if runs.is_empty() {
+        return Err("report: empty `runs` array".into());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        check_run(run, i)?;
+    }
+    println!("report ok: {} runs", runs.len());
+    Ok(())
+}
+
+/// Checks a Chrome-trace (`traceEvents`) document.
+fn check_trace(doc: &serde_json::Value) -> CheckResult {
+    let events = get(doc, "traceEvents", "trace")?
+        .as_array()
+        .ok_or_else(|| "trace: `traceEvents` is not an array".to_string())?;
+    if events.is_empty() {
+        return Err("trace: empty `traceEvents` array".into());
+    }
+    let mut begins = 0u64;
+    let mut ends = 0u64;
+    let mut spans = 0u64;
+    for (i, event) in events.iter().enumerate() {
+        let what = format!("traceEvents[{i}]");
+        expect_str(event, "name", &what)?;
+        expect_u64(event, "pid", &what)?;
+        expect_u64(event, "tid", &what)?;
+        let ph = get(event, "ph", &what)?
+            .as_str()
+            .ok_or_else(|| format!("{what}: `ph` is not a string"))?;
+        match ph {
+            "M" => {}
+            "B" => {
+                expect_u64(event, "ts", &what)?;
+                begins += 1;
+            }
+            "E" => {
+                expect_u64(event, "ts", &what)?;
+                ends += 1;
+                if ends > begins {
+                    return Err(format!("{what}: `E` without a preceding `B`"));
+                }
+            }
+            "X" => {
+                expect_u64(event, "ts", &what)?;
+                expect_u64(event, "dur", &what)?;
+                spans += 1;
+            }
+            "i" => expect_u64(event, "ts", &what)?,
+            other => return Err(format!("{what}: unknown phase `{other}`")),
+        }
+    }
+    if begins != ends {
+        return Err(format!("trace: {begins} `B` events but {ends} `E` events"));
+    }
+    if begins == 0 {
+        return Err("trace: no bus tenures (`B`/`E` pairs) recorded".into());
+    }
+    println!("trace ok: {} events ({begins} tenures, {spans} miss spans)", events.len());
+    Ok(())
+}
+
+fn load(path: &str) -> Result<serde_json::Value, String> {
+    let text =
+        std::fs::read_to_string(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut checked = false;
+    let mut failed = false;
+    while let Some(arg) = args.next() {
+        let (kind, path) = match arg.as_str() {
+            "--report" => ("report", args.next().expect("--report needs a path")),
+            "--trace" => ("trace", args.next().expect("--trace needs a path")),
+            other => {
+                eprintln!("unknown flag `{other}` (use --report <path>, --trace <path>)");
+                return ExitCode::FAILURE;
+            }
+        };
+        checked = true;
+        let outcome = load(&path).and_then(|doc| match kind {
+            "report" => check_report(&doc),
+            _ => check_trace(&doc),
+        });
+        if let Err(message) = outcome {
+            eprintln!("schema violation: {message}");
+            failed = true;
+        }
+    }
+    if !checked {
+        eprintln!("nothing to check (use --report <path> and/or --trace <path>)");
+        return ExitCode::FAILURE;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -15,6 +15,7 @@ use cohort::{
     SystemSpec,
 };
 use cohort_optim::{solve, GaConfig, TimerProblem};
+use cohort_sim::{ChromeTraceProbe, Simulator};
 use cohort_trace::{Kernel, KernelSpec, Workload};
 use cohort_types::{Criticality, Cycles, Error, Result, TimerValue};
 use serde_json::json;
@@ -180,6 +181,23 @@ pub fn sweep_protocols(
     workload: &Workload,
     ga: &GaConfig,
 ) -> Result<Vec<ProtocolRun>> {
+    sweep_protocols_opts(config, workload, ga, false)
+}
+
+/// [`sweep_protocols`] with explicit options: when `collect_metrics` is
+/// set, every run executes under a `cohort_sim::MetricsProbe` and its
+/// [`ExperimentOutcome::metrics`] report flows into the `--json` records
+/// (the statistics themselves are bit-identical either way).
+///
+/// # Errors
+///
+/// Propagates simulator/analysis errors (the first failed job's error).
+pub fn sweep_protocols_opts(
+    config: CritConfig,
+    workload: &Workload,
+    ga: &GaConfig,
+    collect_metrics: bool,
+) -> Result<Vec<ProtocolRun>> {
     let spec = config.spec();
     let timers = optimize_cohort_timers(config, workload, ga)?;
     let shared = Arc::new(workload.clone());
@@ -194,6 +212,7 @@ pub fn sweep_protocols(
             let label = format!("{}/{}/{}", config.slug(), workload.name(), p.slug());
             ExperimentJob::new(spec.clone(), p, Arc::clone(&shared)).with_label(label)
         }))
+        .collect_metrics(collect_metrics)
         .build();
     let outcomes = sweep.run().into_outcomes()?;
     Ok(outcomes
@@ -322,17 +341,48 @@ pub fn run_to_json(config: CritConfig, run: &ProtocolRun) -> serde_json::Value {
             })
         })
         .collect();
-    json!({
-        "config": config.slug(),
-        "protocol": outcome.protocol.slug(),
-        "workload": outcome.workload.clone(),
-        "execution_time": outcome.execution_time(),
-        "cycles": outcome.stats.cycles.get(),
-        "bus_utilisation": outcome.stats.bus_utilisation(),
-        "hit_ratio": outcome.stats.hit_ratio(),
-        "timers": run.timers.as_ref().map(|t| t.iter().map(|v| v.encode()).collect::<Vec<i32>>()),
-        "cores": cores,
-    })
+    let mut record = serde_json::Map::new();
+    record.insert("config".into(), json!(config.slug()));
+    record.insert("protocol".into(), json!(outcome.protocol.slug()));
+    record.insert("workload".into(), json!(outcome.workload.clone()));
+    record.insert("execution_time".into(), json!(outcome.execution_time()));
+    record.insert("cycles".into(), json!(outcome.stats.cycles.get()));
+    record.insert("bus_utilisation".into(), json!(outcome.stats.bus_utilisation()));
+    record.insert("hit_ratio".into(), json!(outcome.stats.hit_ratio()));
+    record.insert(
+        "timers".into(),
+        json!(run.timers.as_ref().map(|t| t.iter().map(|v| v.encode()).collect::<Vec<i32>>())),
+    );
+    record.insert("cores".into(), json!(cores));
+    // Present only for probed runs, so probe-off reports are byte-for-byte
+    // what the pre-probe harness wrote.
+    if let Some(metrics) = &outcome.metrics {
+        record.insert("metrics".into(), metrics.to_json());
+    }
+    serde_json::Value::Object(record)
+}
+
+/// Runs `protocol` on `workload` under a [`ChromeTraceProbe`] and writes
+/// the Chrome/Perfetto `traceEvents` artifact to `path` (load it in
+/// `chrome://tracing` or <https://ui.perfetto.dev>).
+///
+/// # Errors
+///
+/// Propagates configuration/simulator errors; filesystem failures surface
+/// as [`Error::Codec`].
+pub fn write_chrome_trace(
+    path: &Path,
+    spec: &SystemSpec,
+    protocol: &Protocol,
+    workload: &Workload,
+) -> Result<()> {
+    let config = protocol.sim_config(spec)?;
+    let mut sim = Simulator::with_probe(config, workload, ChromeTraceProbe::new())?;
+    sim.run()?;
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(|e| Error::Codec(e.to_string()))?;
+    }
+    sim.into_probe().write_to(path).map_err(|e| Error::Codec(e.to_string()))
 }
 
 /// Wraps per-run records into the `--json` report envelope
@@ -371,6 +421,12 @@ pub struct CliOptions {
     pub config: Option<CritConfig>,
     /// `--json <path>`: also emit machine-readable per-job results.
     pub json: Option<PathBuf>,
+    /// `--metrics`: run the sweeps under a `MetricsProbe` and embed the
+    /// latency-histogram/bus/timer reports in the `--json` records.
+    pub metrics: bool,
+    /// `--trace <path>`: write a Chrome/Perfetto trace of one
+    /// representative CoHoRT run.
+    pub trace: Option<PathBuf>,
 }
 
 impl CliOptions {
@@ -397,8 +453,13 @@ impl CliOptions {
                 "--json" => {
                     options.json = Some(PathBuf::from(args.next().expect("--json needs a path")));
                 }
+                "--metrics" => options.metrics = true,
+                "--trace" => {
+                    options.trace = Some(PathBuf::from(args.next().expect("--trace needs a path")));
+                }
                 other => panic!(
-                    "unknown flag `{other}` (use --full, --quick, --config <slug>, --json <path>)"
+                    "unknown flag `{other}` (use --full, --quick, --config <slug>, \
+                     --json <path>, --metrics, --trace <path>)"
                 ),
             }
         }
@@ -440,13 +501,25 @@ mod tests {
     #[test]
     fn cli_parsing() {
         let opts = CliOptions::parse(
-            ["bin", "--quick", "--config", "all-cr", "--json", "out/fig5.json"]
-                .iter()
-                .map(ToString::to_string),
+            [
+                "bin",
+                "--quick",
+                "--config",
+                "all-cr",
+                "--json",
+                "out/fig5.json",
+                "--metrics",
+                "--trace",
+                "out/trace.json",
+            ]
+            .iter()
+            .map(ToString::to_string),
         );
         assert!(opts.quick);
         assert_eq!(opts.config, Some(CritConfig::AllCr));
         assert_eq!(opts.json.as_deref(), Some(Path::new("out/fig5.json")));
+        assert!(opts.metrics);
+        assert_eq!(opts.trace.as_deref(), Some(Path::new("out/trace.json")));
     }
 
     #[test]
@@ -518,6 +591,57 @@ mod tests {
             serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
         let round_runs = round.get("runs").and_then(serde_json::Value::as_array).unwrap();
         assert_eq!(round_runs.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_sweep_embeds_reports_and_plain_sweep_omits_the_key() {
+        let w = KernelSpec::new(Kernel::Fft, 4).with_total_requests(2_000).generate();
+        let ga = GaConfig { population: 8, generations: 3, ..Default::default() };
+        let plain = sweep_protocols(CritConfig::AllCr, &w, &ga).unwrap();
+        let probed = sweep_protocols_opts(CritConfig::AllCr, &w, &ga, true).unwrap();
+
+        for (p, m) in plain.iter().zip(&probed) {
+            // The probe must not perturb the simulation itself.
+            assert_eq!(p.outcome.stats, m.outcome.stats, "{:?}", p.outcome.protocol);
+
+            let plain_record = run_to_json(CritConfig::AllCr, p);
+            assert!(
+                plain_record.get("metrics").is_none(),
+                "plain records must omit the key entirely (byte-identity)"
+            );
+            let probed_record = run_to_json(CritConfig::AllCr, m);
+            let metrics = probed_record.get("metrics").expect("probed records embed a report");
+            assert_eq!(
+                metrics.get("cycles").and_then(serde_json::Value::as_u64),
+                Some(m.outcome.stats.cycles.get())
+            );
+            let cores = metrics.get("cores").and_then(serde_json::Value::as_array).unwrap();
+            assert_eq!(cores.len(), 4);
+        }
+    }
+
+    #[test]
+    fn chrome_trace_export_writes_a_valid_document() {
+        let w = KernelSpec::new(Kernel::Fft, 4).with_total_requests(2_000).generate();
+        let ga = GaConfig { population: 8, generations: 3, ..Default::default() };
+        let runs = sweep_protocols(CritConfig::AllCr, &w, &ga).unwrap();
+        let timers = runs[0].timers.clone().expect("CoHoRT carries timers");
+
+        let dir = std::env::temp_dir().join("cohort-bench-trace-test");
+        let path = dir.join("trace.json");
+        write_chrome_trace(&path, &CritConfig::AllCr.spec(), &Protocol::Cohort { timers }, &w)
+            .unwrap();
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let events = doc.get("traceEvents").and_then(serde_json::Value::as_array).unwrap();
+        assert!(!events.is_empty());
+        // 4 core tracks + bus + llc metadata records.
+        let names = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(serde_json::Value::as_str) == Some("M"))
+            .count();
+        assert_eq!(names, 6);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -44,7 +44,7 @@ use std::time::{Duration, Instant};
 use cohort_trace::Workload;
 use cohort_types::{Error, Result};
 
-use crate::experiment::{run_experiment, ExperimentOutcome};
+use crate::experiment::{run_experiment, run_experiment_with_metrics, ExperimentOutcome};
 use crate::pool;
 use crate::protocol::{Protocol, ProtocolKind};
 use crate::SystemSpec;
@@ -188,6 +188,7 @@ impl SweepObserver for SilentObserver {}
 pub struct Sweep {
     jobs: Vec<ExperimentJob>,
     workers: usize,
+    collect_metrics: bool,
 }
 
 /// Builder for [`Sweep`].
@@ -195,6 +196,7 @@ pub struct Sweep {
 pub struct SweepBuilder {
     jobs: Vec<ExperimentJob>,
     workers: Option<usize>,
+    collect_metrics: bool,
 }
 
 impl SweepBuilder {
@@ -220,10 +222,24 @@ impl SweepBuilder {
         self
     }
 
+    /// Runs every job under a `cohort_sim::MetricsProbe`, attaching a
+    /// [`cohort_sim::MetricsReport`] to each outcome (latency histograms,
+    /// bus shares, timer occupancy). Off by default: plain sweeps stay
+    /// byte-identical to the unprobed driver.
+    #[must_use]
+    pub fn collect_metrics(mut self, collect: bool) -> Self {
+        self.collect_metrics = collect;
+        self
+    }
+
     /// Finalises the sweep.
     #[must_use]
     pub fn build(self) -> Sweep {
-        Sweep { jobs: self.jobs, workers: self.workers.unwrap_or_else(pool::default_workers) }
+        Sweep {
+            jobs: self.jobs,
+            workers: self.workers.unwrap_or_else(pool::default_workers),
+            collect_metrics: self.collect_metrics,
+        }
     }
 }
 
@@ -255,7 +271,13 @@ impl Sweep {
     /// Runs every job, reporting progress to `observer`.
     #[must_use]
     pub fn run_observed(&self, observer: &dyn SweepObserver) -> SweepReport {
-        self.run_with(observer, |job| run_experiment(&job.spec, &job.protocol, &job.workload))
+        if self.collect_metrics {
+            self.run_with(observer, |job| {
+                run_experiment_with_metrics(&job.spec, &job.protocol, &job.workload)
+            })
+        } else {
+            self.run_with(observer, |job| run_experiment(&job.spec, &job.protocol, &job.workload))
+        }
     }
 
     /// Runs every job through a custom `runner` (the engine underneath
@@ -395,6 +417,7 @@ mod tests {
             workload: job.workload.name().to_string(),
             stats: SimStats::default(),
             bounds: None,
+            metrics: None,
         }
     }
 
@@ -505,6 +528,20 @@ mod tests {
             assert!(ok);
         }
         assert!(report.wall_time >= report.results.iter().map(|r| r.wall_time).max().unwrap());
+    }
+
+    #[test]
+    fn collect_metrics_attaches_reports_without_changing_stats() {
+        let plain = Sweep::builder().jobs(tiny_jobs(3)).workers(2).build().run();
+        let probed =
+            Sweep::builder().jobs(tiny_jobs(3)).workers(2).collect_metrics(true).build().run();
+        for (p, m) in plain.results.iter().zip(&probed.results) {
+            let (p, m) = (p.outcome().unwrap(), m.outcome().unwrap());
+            assert_eq!(p.stats, m.stats, "metrics collection must not perturb the sweep");
+            assert!(p.metrics.is_none());
+            let report = m.metrics.as_ref().expect("probed sweep carries metrics");
+            assert_eq!(report.cycles, m.stats.cycles.get());
+        }
     }
 
     #[test]

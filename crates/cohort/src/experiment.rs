@@ -2,11 +2,11 @@
 //! figure-regeneration benches.
 
 use cohort_analysis::CoreBound;
-use cohort_sim::{SimStats, Simulator};
+use cohort_sim::{MetricsProbe, MetricsReport, SimStats, Simulator};
 use cohort_trace::Workload;
 use cohort_types::Result;
 
-use crate::{ExperimentJob, Protocol, ProtocolKind, Sweep, SystemSpec};
+use crate::{Protocol, ProtocolKind, SystemSpec};
 
 /// The paired outcome of simulating a protocol and analysing it.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +19,10 @@ pub struct ExperimentOutcome {
     pub stats: SimStats,
     /// Analytical bounds (the T-bars); `None` for unanalysable baselines.
     pub bounds: Option<Vec<CoreBound>>,
+    /// Streamed instrumentation (latency histograms, bus shares, timer
+    /// occupancy) when the run was probed; `None` for plain runs, which
+    /// keeps their output byte-identical to the pre-probe driver.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl ExperimentOutcome {
@@ -83,39 +87,40 @@ pub fn run_experiment(
         workload: workload.name().to_string(),
         stats,
         bounds,
+        metrics: None,
     })
 }
 
-/// Runs a batch of experiments in parallel and returns the outcomes in
-/// input order, or the first error.
-///
-/// This is the legacy driver interface, now a shim over [`Sweep`]; the
-/// sweep API bounds the worker count, isolates per-job panics and reports
-/// every job's outcome instead of only the first failure.
+/// Runs one protocol on one workload under a [`MetricsProbe`]: identical
+/// statistics to [`run_experiment`] (probes observe, they never perturb),
+/// plus the streamed [`MetricsReport`] in [`ExperimentOutcome::metrics`].
 ///
 /// # Errors
 ///
-/// Returns the first error among the jobs; results keep the input order.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `cohort::Sweep` of owned `ExperimentJob`s instead: it bounds worker \
-            threads, isolates job panics and reports every job's outcome"
-)]
-pub fn run_experiments_parallel(
-    jobs: &[(&SystemSpec, &Protocol, &Workload)],
-) -> Result<Vec<ExperimentOutcome>> {
-    Sweep::builder()
-        .jobs(jobs.iter().map(|(spec, protocol, workload)| {
-            ExperimentJob::new((*spec).clone(), (*protocol).clone(), (*workload).clone())
-        }))
-        .build()
-        .run()
-        .into_outcomes()
+/// Propagates configuration errors and simulator failures.
+pub fn run_experiment_with_metrics(
+    spec: &SystemSpec,
+    protocol: &Protocol,
+    workload: &Workload,
+) -> Result<ExperimentOutcome> {
+    let config = protocol.sim_config(spec)?;
+    let mut sim = Simulator::with_probe(config, workload, MetricsProbe::new())?;
+    let stats = sim.run()?;
+    let metrics = sim.into_probe().into_report();
+    let bounds = protocol.analyze(spec, workload)?;
+    Ok(ExperimentOutcome {
+        protocol: protocol.kind(),
+        workload: workload.name().to_string(),
+        stats,
+        bounds,
+        metrics: Some(metrics),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ExperimentJob;
     use cohort_trace::micro;
     use cohort_types::{Criticality, TimerValue};
 
@@ -159,18 +164,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the shim must keep behaving like the old driver
-    fn parallel_matches_sequential() {
+    fn metrics_run_matches_plain_run_and_attaches_a_report() {
         let s = spec(2);
         let w = micro::ping_pong(2, 10);
-        let p1 = Protocol::Msi;
-        let p2 = Protocol::Pcc;
-        let jobs = vec![(&s, &p1, &w), (&s, &p2, &w)];
-        let parallel = run_experiments_parallel(&jobs).unwrap();
-        assert_eq!(parallel.len(), 2);
-        let seq0 = run_experiment(&s, &p1, &w).unwrap();
-        assert_eq!(parallel[0].stats, seq0.stats);
-        assert_eq!(parallel[1].protocol, ProtocolKind::Pcc);
+        let plain = run_experiment(&s, &Protocol::Msi, &w).unwrap();
+        let probed = run_experiment_with_metrics(&s, &Protocol::Msi, &w).unwrap();
+        assert_eq!(plain.stats, probed.stats, "the probe must not perturb the run");
+        assert_eq!(plain.bounds, probed.bounds);
+        let report = probed.metrics.expect("probed run carries metrics");
+        for (core, stats) in report.cores.iter().zip(&probed.stats.cores) {
+            assert_eq!(core.latency.count(), stats.accesses());
+        }
     }
 
     #[test]

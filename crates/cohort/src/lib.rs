@@ -69,9 +69,7 @@ pub use batch::{
     SweepReport,
 };
 pub use controller::{ModeController, ModeDecision};
-#[allow(deprecated)]
-pub use experiment::run_experiments_parallel;
-pub use experiment::{run_experiment, ExperimentOutcome};
+pub use experiment::{run_experiment, run_experiment_with_metrics, ExperimentOutcome};
 pub use modes::{configure_modes, ModeConfiguration, ModeEntry, ModeSwitchLut};
 pub use protocol::{Protocol, ProtocolKind};
 pub use system::{CoreSpec, SystemSpec, SystemSpecBuilder};

@@ -183,7 +183,6 @@ pub struct SimConfig {
     data_path: DataPath,
     timers: Vec<TimerValue>,
     mshr_per_core: usize,
-    log_events: bool,
     waiter_priority: Option<Vec<bool>>,
     flavor: ProtocolFlavor,
 }
@@ -205,7 +204,6 @@ impl SimConfig {
                 data_path: DataPath::CacheToCache,
                 timers: vec![TimerValue::MSI; cores],
                 mshr_per_core: 1,
-                log_events: false,
                 waiter_priority: None,
                 flavor: ProtocolFlavor::Msi,
             },
@@ -258,12 +256,6 @@ impl SimConfig {
     #[must_use]
     pub fn mshr_per_core(&self) -> usize {
         self.mshr_per_core
-    }
-
-    /// Whether the engine records a cycle-stamped event log.
-    #[must_use]
-    pub fn log_events(&self) -> bool {
-        self.log_events
     }
 
     /// The protocol flavor (MSI per the paper, or the MESI extension).
@@ -375,15 +367,6 @@ impl SimConfigBuilder {
     #[must_use]
     pub fn mshr_per_core(mut self, entries: usize) -> Self {
         self.config.mshr_per_core = entries;
-        self
-    }
-
-    /// Enables the cycle-stamped event log (needed for the Figure-1 and
-    /// Figure-4 replays; off by default because full kernels produce
-    /// millions of events).
-    #[must_use]
-    pub fn log_events(mut self, enable: bool) -> Self {
-        self.config.log_events = enable;
         self
     }
 
@@ -504,7 +487,6 @@ mod tests {
         assert_eq!(c.data_path(), DataPath::CacheToCache);
         assert!(c.timers().iter().all(|t| t.is_msi()));
         assert_eq!(c.mshr_per_core(), 1);
-        assert!(!c.log_events());
     }
 
     #[test]

@@ -30,7 +30,8 @@ use crate::arbiter::{Arbiter, Candidate, CandidateKind};
 use crate::cache::{L1Line, LineState, SetAssocCache};
 use crate::coherence::{CoherenceMap, Owner, ReqKind, Waiter};
 use crate::core_model::{CoreModel, MshrEntry};
-use crate::event::{EventKind, EventLog, InvalidateCause};
+use crate::event::{EventKind, InvalidateCause};
+use crate::probe::{BusTenure, NoProbe, SimProbe, TenureKind};
 use crate::timer::release_time;
 use crate::{DataPath, LlcModel, ProtocolFlavor, SimConfig, SimStats};
 
@@ -62,7 +63,13 @@ enum TxnKind {
     Transfer { from: Owner },
 }
 
-/// The cycle-accurate simulator.
+/// The cycle-accurate simulator, generic over one [`SimProbe`].
+///
+/// The default probe is [`NoProbe`], which observes nothing and costs
+/// nothing — [`Simulator::new`] builds that uninstrumented engine. To
+/// observe a run, pass a probe (or a tuple of probes) to
+/// [`Simulator::with_probe`]; the probe receives every protocol event,
+/// bus tenure and arbitration decision as the run streams past.
 ///
 /// # Examples
 ///
@@ -80,8 +87,24 @@ enum TxnKind {
 /// assert!(stats.execution_time().get() > 0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+///
+/// Observing the same run with a probe stack:
+///
+/// ```
+/// use cohort_sim::{EventLogProbe, MetricsProbe, SimConfig, Simulator};
+/// use cohort_trace::micro;
+///
+/// let config = SimConfig::builder(2).build()?;
+/// let probes = (MetricsProbe::new(), EventLogProbe::new());
+/// let mut sim = Simulator::with_probe(config, &micro::ping_pong(2, 4), probes)?;
+/// sim.run()?;
+/// let (metrics, log) = sim.into_probe();
+/// assert_eq!(metrics.report().cores.len(), 2);
+/// assert!(!log.is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug, Clone)]
-pub struct Simulator {
+pub struct Simulator<P: SimProbe = NoProbe> {
     config: SimConfig,
     timers: Vec<TimerValue>,
     now: Cycles,
@@ -92,7 +115,8 @@ pub struct Simulator {
     arbiter: Arbiter,
     txn: Option<ActiveTxn>,
     stats: SimStats,
-    events: EventLog,
+    probe: P,
+    finish_notified: bool,
     switches: BTreeMap<u64, Vec<TimerValue>>,
     lines_with_waiters: HashSet<LineAddr>,
     last_progress: Cycles,
@@ -104,13 +128,29 @@ pub struct Simulator {
 const WATCHDOG: u64 = 2_000_000;
 
 impl Simulator {
-    /// Creates a simulator for `workload` under `config`.
+    /// Creates an uninstrumented simulator for `workload` under `config`.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] if the workload's core count does
     /// not match the configuration.
     pub fn new(config: SimConfig, workload: &Workload) -> Result<Self> {
+        Simulator::with_probe(config, workload, NoProbe)
+    }
+}
+
+impl<P: SimProbe> Simulator<P> {
+    /// Creates a simulator whose run streams through `probe`.
+    ///
+    /// Pass the probe by value to have the simulator own it (retrieve it
+    /// with [`Simulator::into_probe`]), or pass `&mut probe` to keep
+    /// ownership at the call site.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the workload's core count does
+    /// not match the configuration.
+    pub fn with_probe(config: SimConfig, workload: &Workload, mut probe: P) -> Result<Self> {
         if workload.cores() != config.cores() {
             return Err(Error::InvalidConfig(format!(
                 "workload has {} cores but the configuration expects {}",
@@ -135,7 +175,9 @@ impl Simulator {
         let arbiter = Arbiter::new(config.arbiter(), config.cores(), slot);
         let stats =
             SimStats { cores: vec![Default::default(); config.cores()], ..Default::default() };
-        let events = EventLog::new(config.log_events());
+        if P::ACTIVE {
+            probe.on_start(&config);
+        }
         Ok(Simulator {
             timers: config.timers().to_vec(),
             cores,
@@ -145,7 +187,8 @@ impl Simulator {
             arbiter,
             txn: None,
             stats,
-            events,
+            probe,
+            finish_notified: false,
             switches: BTreeMap::new(),
             lines_with_waiters: HashSet::new(),
             last_progress: Cycles::ZERO,
@@ -179,10 +222,22 @@ impl Simulator {
         &self.stats
     }
 
-    /// The recorded events (empty unless the configuration enables logging).
+    /// The attached probe.
     #[must_use]
-    pub fn events(&self) -> &[crate::Event] {
-        self.events.events()
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// The attached probe, mutably.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Consumes the simulator, returning the probe (e.g. to read an
+    /// [`EventLogProbe`](crate::EventLogProbe)'s collected events).
+    #[must_use]
+    pub fn into_probe(self) -> P {
+        self.probe
     }
 
     /// Returns `true` once every core drained its trace and the bus idles.
@@ -264,6 +319,12 @@ impl Simulator {
         }
         self.stats.cycles =
             self.stats.cycles.max(self.now.min(deadline)).max(self.stats.execution_time());
+        if self.is_finished() && !self.finish_notified {
+            self.finish_notified = true;
+            if P::ACTIVE {
+                self.probe.on_finish(&self.stats);
+            }
+        }
         Ok(())
     }
 
@@ -286,8 +347,10 @@ impl Simulator {
             // (nor may they be cheated out of an expiry that passed).
             self.latch_expired_releases();
             let (_, timers) = self.switches.pop_first().expect("checked non-empty");
-            self.timers = timers.clone();
-            self.events.record(self.now, EventKind::TimerSwitch { timers });
+            if P::ACTIVE {
+                self.probe.on_event(self.now, &EventKind::TimerSwitch { timers: timers.clone() });
+            }
+            self.timers = timers;
             self.last_progress = self.now;
         }
     }
@@ -349,7 +412,9 @@ impl Simulator {
                         l1line.state = LineState::Modified;
                     }
                 }
-                self.events.record(self.now, EventKind::Hit { core: id, line: op.line });
+                if P::ACTIVE {
+                    self.probe.on_event(self.now, &EventKind::Hit { core: id, line: op.line });
+                }
                 self.mark_done_if_drained(id);
                 self.last_progress = self.now;
             }
@@ -371,8 +436,12 @@ impl Simulator {
                 // continues with subsequent accesses (hits-over-misses).
                 let next_gap = core.current_op().map_or(Cycles::ZERO, |o| o.gap);
                 core.ready_at = self.now + Cycles::new(1) + next_gap;
-                self.events
-                    .record(self.now, EventKind::MissIssued { core: id, line: op.line, kind });
+                if P::ACTIVE {
+                    self.probe.on_event(
+                        self.now,
+                        &EventKind::MissIssued { core: id, line: op.line, kind },
+                    );
+                }
                 self.last_progress = self.now;
             }
             Outcome::WaitInflight => {
@@ -534,6 +603,15 @@ impl Simulator {
         let Some(granted) = self.arbiter.grant(self.now, &candidates) else { return };
         let cand = candidates[granted].expect("granted core has a candidate");
         self.arbiter.on_grant(granted);
+        if P::ACTIVE {
+            let stalled: Vec<usize> = candidates
+                .iter()
+                .enumerate()
+                .filter(|&(core, c)| core != granted && c.is_some())
+                .map(|(core, _)| core)
+                .collect();
+            self.probe.on_arbitration(self.now, granted, &stalled);
+        }
         match cand.kind {
             CandidateKind::Broadcast => self.start_broadcast(granted),
             CandidateKind::Receive => self.start_receive(granted, cand.line),
@@ -555,7 +633,10 @@ impl Simulator {
         }
         self.lines_with_waiters.insert(m.line);
         self.stats.broadcasts += 1;
-        self.events.record(self.now, EventKind::Broadcast { core: id, line: m.line, kind: m.kind });
+        if P::ACTIVE {
+            self.probe
+                .on_event(self.now, &EventKind::Broadcast { core: id, line: m.line, kind: m.kind });
+        }
 
         // Fuse the data response into the same bus tenure when the request
         // is immediately serviceable (head of queue, every holder released
@@ -567,16 +648,36 @@ impl Simulator {
             let from = self.coh.get(m.line).map_or(Owner::Llc, |c| c.owner());
             let duration = self.transfer_duration(from, m.line);
             self.stats.transfers += 1;
-            self.events.record(
-                snoop_at,
-                EventKind::TransferStart { from: from.core(), to: id, line: m.line },
-            );
+            if P::ACTIVE {
+                self.probe.on_event(
+                    snoop_at,
+                    &EventKind::TransferStart { from: from.core(), to: id, line: m.line },
+                );
+            }
             let ends = snoop_at + duration;
             self.stats.bus_busy += ends - self.now;
+            if P::ACTIVE {
+                self.probe.on_bus_tenure(&BusTenure {
+                    core: id,
+                    line: m.line,
+                    start: self.now,
+                    end: ends,
+                    kind: TenureKind::Fused { from: from.core() },
+                });
+            }
             self.txn =
                 Some(ActiveTxn { core: id, line: m.line, ends, kind: TxnKind::Transfer { from } });
         } else {
             self.stats.bus_busy += request_latency;
+            if P::ACTIVE {
+                self.probe.on_bus_tenure(&BusTenure {
+                    core: id,
+                    line: m.line,
+                    start: self.now,
+                    end: snoop_at,
+                    kind: TenureKind::Broadcast,
+                });
+            }
             self.txn = Some(ActiveTxn {
                 core: id,
                 line: m.line,
@@ -595,9 +696,21 @@ impl Simulator {
         let from = self.coh.get(line).map_or(Owner::Llc, |c| c.owner());
         let duration = self.transfer_duration(from, line);
         self.stats.transfers += 1;
-        self.events.record(self.now, EventKind::TransferStart { from: from.core(), to: id, line });
+        if P::ACTIVE {
+            self.probe
+                .on_event(self.now, &EventKind::TransferStart { from: from.core(), to: id, line });
+        }
         let ends = self.now + duration;
         self.stats.bus_busy += duration;
+        if P::ACTIVE {
+            self.probe.on_bus_tenure(&BusTenure {
+                core: id,
+                line,
+                start: self.now,
+                end: ends,
+                kind: TenureKind::Transfer { from: from.core() },
+            });
+        }
         self.txn = Some(ActiveTxn { core: id, line, ends, kind: TxnKind::Transfer { from } });
     }
 
@@ -654,14 +767,16 @@ impl Simulator {
             for holder in holders {
                 if self.l1s[holder].remove(victim).is_some() {
                     self.stats.back_invalidations += 1;
-                    self.events.record(
-                        self.now,
-                        EventKind::Invalidate {
-                            core: holder,
-                            line: victim,
-                            cause: InvalidateCause::BackInvalidation,
-                        },
-                    );
+                    if P::ACTIVE {
+                        self.probe.on_event(
+                            self.now,
+                            &EventKind::Invalidate {
+                                core: holder,
+                                line: victim,
+                                cause: InvalidateCause::BackInvalidation,
+                            },
+                        );
+                    }
                 }
             }
             let entry = self.coh.entry(victim);
@@ -693,10 +808,10 @@ impl Simulator {
                     if holder == to {
                         continue; // an upgrading requester keeps its copy
                     }
-                    if self.l1s[holder].remove(line).is_some() {
-                        self.events.record(
+                    if self.l1s[holder].remove(line).is_some() && P::ACTIVE {
+                        self.probe.on_event(
                             ends,
-                            EventKind::Invalidate {
+                            &EventKind::Invalidate {
                                 core: holder,
                                 line,
                                 cause: InvalidateCause::Stolen,
@@ -712,7 +827,9 @@ impl Simulator {
                 if let Owner::Core(owner) = from {
                     if let Some(l1line) = self.l1s[owner].peek_mut(line) {
                         l1line.state = LineState::Shared;
-                        self.events.record(ends, EventKind::Downgrade { core: owner, line });
+                        if P::ACTIVE {
+                            self.probe.on_event(ends, &EventKind::Downgrade { core: owner, line });
+                        }
                     }
                     let entry = self.coh.entry(line);
                     entry.set_owner(Owner::Llc);
@@ -764,7 +881,10 @@ impl Simulator {
         core.last_completion = ends;
         core.stalled = false;
         core.ready_at = core.ready_at.max(ends);
-        self.events.record(ends, EventKind::Fill { core: to, line, kind: waiter.kind, latency });
+        if P::ACTIVE {
+            self.probe
+                .on_event(ends, &EventKind::Fill { core: to, line, kind: waiter.kind, latency });
+        }
         if was_oldest {
             self.arbiter.on_request_served(to);
         }
@@ -776,10 +896,16 @@ impl Simulator {
     /// in the paper's fixed data latency), a Shared victim simply drops out.
     fn evict_l1(&mut self, id: usize, victim: LineAddr, victim_line: L1Line, at: Cycles) {
         self.stats.evictions += 1;
-        self.events.record(
-            at,
-            EventKind::Invalidate { core: id, line: victim, cause: InvalidateCause::Replacement },
-        );
+        if P::ACTIVE {
+            self.probe.on_event(
+                at,
+                &EventKind::Invalidate {
+                    core: id,
+                    line: victim,
+                    cause: InvalidateCause::Replacement,
+                },
+            );
+        }
         let entry = self.coh.entry(victim);
         if victim_line.state.is_owned() {
             debug_assert_eq!(entry.owner(), Owner::Core(id), "owned line without ownership");

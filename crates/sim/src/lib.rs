@@ -50,23 +50,29 @@
 
 mod arbiter;
 mod cache;
+mod chrome_trace;
 mod coherence;
 mod config;
 mod core_model;
 mod engine;
 mod event;
+mod metrics;
+mod probe;
 mod stats;
 mod timeline;
 mod timer;
 
 pub use arbiter::{Arbiter, Candidate, CandidateKind};
 pub use cache::{L1Line, LineState, SetAssocCache};
+pub use chrome_trace::ChromeTraceProbe;
 pub use coherence::{CoherenceMap, LineCoh, Owner, ReqKind, Waiter};
 pub use config::{
     ArbiterKind, CacheGeometry, DataPath, LlcModel, ProtocolFlavor, SimConfig, SimConfigBuilder,
 };
 pub use engine::Simulator;
-pub use event::{Event, EventKind, EventLog, InvalidateCause};
+pub use event::{Event, EventKind, EventLogProbe, InvalidateCause};
+pub use metrics::{CoreMetrics, LatencyHistogram, MetricsProbe, MetricsReport};
+pub use probe::{BusTenure, NoProbe, SimProbe, TenureKind};
 pub use stats::{CoreStats, SimStats};
 pub use timeline::{render_timeline, TimelineOptions};
 pub use timer::{release_time, CountdownCounter};

@@ -1,7 +1,7 @@
 //! ASCII timeline rendering of event logs — one lane per core, like the
 //! paper's Figure 1/4 diagrams. A debugging and teaching aid: run a small
-//! workload with `log_events(true)` and print what the coherence engine
-//! actually did, cycle by cycle.
+//! workload under an [`EventLogProbe`](crate::EventLogProbe) and print what
+//! the coherence engine actually did, cycle by cycle.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -77,13 +77,14 @@ fn line_of(kind: &EventKind) -> Option<LineAddr> {
 /// # Examples
 ///
 /// ```
-/// use cohort_sim::{render_timeline, SimConfig, Simulator, TimelineOptions};
+/// use cohort_sim::{render_timeline, EventLogProbe, SimConfig, Simulator, TimelineOptions};
 /// use cohort_trace::micro;
 ///
-/// let config = SimConfig::builder(2).log_events(true).build()?;
-/// let mut sim = Simulator::new(config, &micro::ping_pong(2, 2))?;
+/// let config = SimConfig::builder(2).build()?;
+/// let mut probe = EventLogProbe::new();
+/// let mut sim = Simulator::with_probe(config, &micro::ping_pong(2, 2), &mut probe)?;
 /// sim.run()?;
-/// let art = render_timeline(sim.events(), 2, &TimelineOptions::default());
+/// let art = render_timeline(&probe.to_vec(), 2, &TimelineOptions::default());
 /// assert!(art.contains("c0"));
 /// assert!(art.contains('F'), "fills appear on the timeline");
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -148,19 +149,17 @@ pub fn render_timeline(events: &[Event], cores: usize, options: &TimelineOptions
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{SimConfig, Simulator};
+    use crate::{EventLogProbe, SimConfig, Simulator};
     use cohort_trace::micro;
     use cohort_types::{Cycles, TimerValue};
 
     fn logged_run(workload: &cohort_trace::Workload, cores: usize) -> Vec<Event> {
-        let config = SimConfig::builder(cores)
-            .timer(0, TimerValue::timed(40).unwrap())
-            .log_events(true)
-            .build()
-            .unwrap();
-        let mut sim = Simulator::new(config, workload).unwrap();
+        let config =
+            SimConfig::builder(cores).timer(0, TimerValue::timed(40).unwrap()).build().unwrap();
+        let mut probe = EventLogProbe::new();
+        let mut sim = Simulator::with_probe(config, workload, &mut probe).unwrap();
         sim.run().unwrap();
-        sim.events().to_vec()
+        probe.to_vec()
     }
 
     #[test]
@@ -206,11 +205,12 @@ mod tests {
 
     #[test]
     fn switches_appear_in_header() {
-        let config = SimConfig::builder(1).log_events(true).build().unwrap();
-        let mut sim = Simulator::new(config, &micro::streaming(1, 5)).unwrap();
+        let config = SimConfig::builder(1).build().unwrap();
+        let mut probe = EventLogProbe::new();
+        let mut sim = Simulator::with_probe(config, &micro::streaming(1, 5), &mut probe).unwrap();
         sim.schedule_timer_switch(Cycles::new(10), vec![TimerValue::MSI]).unwrap();
         sim.run().unwrap();
-        let art = render_timeline(sim.events(), 1, &TimelineOptions::default());
+        let art = render_timeline(&probe.to_vec(), 1, &TimelineOptions::default());
         assert!(art.contains("timer switches at cycles [10]"), "{art}");
     }
 

@@ -1,7 +1,7 @@
 //! Targeted edge cases of the coherence engine: upgrade races, eviction of
 //! contested lines, GetS chains, and priority-queue displacement.
 
-use cohort_sim::{EventKind, InvalidateCause, SimConfig, Simulator};
+use cohort_sim::{EventKind, EventLogProbe, InvalidateCause, SimConfig, Simulator};
 use cohort_trace::{Trace, TraceOp, Workload};
 use cohort_types::{Cycles, TimerValue};
 
@@ -9,8 +9,8 @@ fn timed(theta: u64) -> TimerValue {
     TimerValue::timed(theta).unwrap()
 }
 
-fn run_logged(config: SimConfig, w: &Workload) -> Simulator {
-    let mut sim = Simulator::new(config, w).unwrap();
+fn run_logged(config: SimConfig, w: &Workload) -> Simulator<EventLogProbe> {
+    let mut sim = Simulator::with_probe(config, w, EventLogProbe::new()).unwrap();
     sim.run().unwrap();
     sim.validate_coherence().unwrap();
     sim
@@ -24,12 +24,12 @@ fn upgrade_queued_behind_foreign_getm_loses_then_refetches() {
     let c0 = Trace::from_ops(vec![TraceOp::load(0), TraceOp::store(0).after(60)]);
     let c1 = Trace::from_ops(vec![TraceOp::store(0).after(30)]);
     let w = Workload::new("upgrade-race", vec![c0, c1]).unwrap();
-    let sim = run_logged(SimConfig::builder(2).log_events(true).build().unwrap(), &w);
+    let sim = run_logged(SimConfig::builder(2).build().unwrap(), &w);
     let stats = sim.stats();
     assert_eq!(stats.cores[0].accesses(), 2);
     assert_eq!(stats.cores[1].accesses(), 1);
     // c0 was dispossessed between its load and its store.
-    assert!(sim.events().iter().any(|e| matches!(
+    assert!(sim.probe().iter().any(|e| matches!(
         e.kind,
         EventKind::Invalidate { core: 0, cause: InvalidateCause::Stolen, .. }
     )));
@@ -43,14 +43,14 @@ fn contested_line_evicted_by_owner_is_served_from_memory() {
     let c0 = Trace::from_ops(vec![TraceOp::store(0), TraceOp::load(256).after(10)]);
     let c1 = Trace::from_ops(vec![TraceOp::store(0).after(20)]);
     let w = Workload::new("evict-contested", vec![c0, c1]).unwrap();
-    let config = SimConfig::builder(2).timer(0, timed(50_000)).log_events(true).build().unwrap();
+    let config = SimConfig::builder(2).timer(0, timed(50_000)).build().unwrap();
     let sim = run_logged(config, &w);
     assert!(
         sim.stats().cores[1].worst_request.get() < 1_000,
         "the eviction released the line early: {}",
         sim.stats().cores[1].worst_request
     );
-    assert!(sim.events().iter().any(|e| matches!(
+    assert!(sim.probe().iter().any(|e| matches!(
         e.kind,
         EventKind::Invalidate { core: 0, cause: InvalidateCause::Replacement, .. }
     )));
@@ -82,11 +82,11 @@ fn producer_downgraded_by_gets_upgrades_on_next_store() {
     ]);
     let consumer = Trace::from_ops(vec![TraceOp::load(0).after(10)]);
     let w = Workload::new("re-upgrade", vec![producer, consumer]).unwrap();
-    let sim = run_logged(SimConfig::builder(2).log_events(true).build().unwrap(), &w);
+    let sim = run_logged(SimConfig::builder(2).build().unwrap(), &w);
     assert_eq!(sim.stats().cores[0].upgrades, 1);
-    assert!(sim.events().iter().any(|e| matches!(e.kind, EventKind::Downgrade { core: 0, .. })));
+    assert!(sim.probe().iter().any(|e| matches!(e.kind, EventKind::Downgrade { core: 0, .. })));
     // The consumer's S copy is invalidated by the upgrade.
-    assert!(sim.events().iter().any(|e| matches!(
+    assert!(sim.probe().iter().any(|e| matches!(
         e.kind,
         EventKind::Invalidate { core: 1, cause: InvalidateCause::Stolen, .. }
     )));
@@ -103,12 +103,11 @@ fn priority_queue_lets_critical_jump_queued_noncritical_waiters() {
     let config = SimConfig::builder(3)
         .timers(vec![timed(200); 3])
         .waiter_priority(vec![false, false, true])
-        .log_events(true)
         .build()
         .unwrap();
     let sim = run_logged(config, &w);
     let fills: Vec<usize> = sim
-        .events()
+        .probe()
         .iter()
         .filter_map(|e| match &e.kind {
             EventKind::Fill { core, line, .. } if line.raw() == 0 => Some(*core),
@@ -153,16 +152,13 @@ fn same_core_repeated_line_touches_use_one_mshr() {
 #[test]
 fn event_log_cycles_are_monotone() {
     let w = cohort_trace::micro::random_shared(3, 12, 150, 0.5, 21);
-    let config = SimConfig::builder(3)
-        .timers(vec![timed(40), TimerValue::MSI, timed(9)])
-        .log_events(true)
-        .build()
-        .unwrap();
+    let config =
+        SimConfig::builder(3).timers(vec![timed(40), TimerValue::MSI, timed(9)]).build().unwrap();
     let sim = run_logged(config, &w);
     let mut last = Cycles::ZERO;
-    for event in sim.events() {
+    for event in sim.probe() {
         assert!(event.cycle >= last, "event log must be chronological");
         last = event.cycle;
     }
-    assert!(!sim.events().is_empty());
+    assert!(!sim.probe().is_empty());
 }

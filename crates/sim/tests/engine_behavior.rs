@@ -2,7 +2,8 @@
 //! from the paper's latencies (hit 1, request 4, data 50, SW = 54).
 
 use cohort_sim::{
-    ArbiterKind, CacheGeometry, DataPath, EventKind, LlcModel, SimConfig, SimStats, Simulator,
+    ArbiterKind, CacheGeometry, DataPath, EventKind, EventLogProbe, LlcModel, SimConfig, SimStats,
+    Simulator,
 };
 use cohort_trace::{micro, Trace, TraceOp, Workload};
 use cohort_types::{Cycles, TimerValue};
@@ -148,15 +149,14 @@ fn rrof_example_operation_figure4() {
         .timer(0, timed(40))
         .timer(1, timed(40))
         .timer(3, timed(40))
-        .log_events(true)
         .build()
         .unwrap();
     let w = micro::figure4();
-    let mut sim = Simulator::new(config, &w).unwrap();
+    let mut sim = Simulator::with_probe(config, &w, EventLogProbe::new()).unwrap();
     sim.run().unwrap();
     // Fill order must follow the RROF broadcast order: c0, c1, c2, c3.
     let fills: Vec<usize> = sim
-        .events()
+        .probe()
         .iter()
         .filter_map(|e| match &e.kind {
             EventKind::Fill { core, line, .. } if line.raw() == 0x40 => Some(*core),
@@ -169,7 +169,7 @@ fn rrof_example_operation_figure4() {
     // fill and c3's fill is at most one data transfer + one request slot,
     // while c1 had to wait out θ0 and c2 had to wait out θ1.
     let fill_time = |core: usize| {
-        sim.events()
+        sim.probe()
             .iter()
             .find_map(|e| match &e.kind {
                 EventKind::Fill { core: c, line, .. } if *c == core && line.raw() == 0x40 => {

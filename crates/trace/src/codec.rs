@@ -35,21 +35,87 @@ const VERSION: u16 = 1;
 
 /// Serializes a workload to pretty-printed JSON.
 ///
+/// The document is built as a [`serde_json::Value`] tree (rather than via
+/// the derived `Serialize` impls) so the encoder only depends on the
+/// value-level half of `serde_json` — the output matches the derive format
+/// exactly: `{"name", "traces": [{"ops": [{"line", "kind", "gap"}]}]}`.
+///
 /// # Errors
 ///
 /// Returns [`Error::Codec`] if serialization fails (practically impossible
 /// for these plain-data types, but surfaced rather than panicking).
 pub fn to_json(workload: &Workload) -> Result<String> {
-    serde_json::to_string_pretty(workload).map_err(|e| Error::Codec(e.to_string()))
+    let mut root = serde_json::Map::new();
+    root.insert("name".into(), serde_json::Value::from(workload.name()));
+    let traces: Vec<serde_json::Value> = workload
+        .traces()
+        .iter()
+        .map(|trace| {
+            let ops: Vec<serde_json::Value> = trace
+                .iter()
+                .map(|op| {
+                    let mut o = serde_json::Map::new();
+                    o.insert("line".into(), serde_json::Value::from(op.line.raw()));
+                    let kind = if op.kind.is_store() { "Store" } else { "Load" };
+                    o.insert("kind".into(), serde_json::Value::from(kind));
+                    o.insert("gap".into(), serde_json::Value::from(op.gap.get()));
+                    serde_json::Value::Object(o)
+                })
+                .collect();
+            let mut t = serde_json::Map::new();
+            t.insert("ops".into(), serde_json::Value::from(ops));
+            serde_json::Value::Object(t)
+        })
+        .collect();
+    root.insert("traces".into(), serde_json::Value::from(traces));
+    serde_json::to_string_pretty(&serde_json::Value::Object(root))
+        .map_err(|e| Error::Codec(e.to_string()))
 }
 
-/// Deserializes a workload from JSON.
+/// Deserializes a workload from JSON (the format written by [`to_json`],
+/// identical to the derived serde representation).
 ///
 /// # Errors
 ///
 /// Returns [`Error::Codec`] if the input is not a valid workload document.
 pub fn from_json(json: &str) -> Result<Workload> {
-    serde_json::from_str(json).map_err(|e| Error::Codec(e.to_string()))
+    fn field<'v>(v: &'v serde_json::Value, key: &str) -> Result<&'v serde_json::Value> {
+        v.get(key).ok_or_else(|| Error::Codec(format!("missing field `{key}`")))
+    }
+    fn as_u64(v: &serde_json::Value, what: &str) -> Result<u64> {
+        v.as_u64().ok_or_else(|| Error::Codec(format!("`{what}` is not an unsigned integer")))
+    }
+
+    let doc: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| Error::Codec(e.to_string()))?;
+    let name = field(&doc, "name")?
+        .as_str()
+        .ok_or_else(|| Error::Codec("`name` is not a string".into()))?
+        .to_owned();
+    let traces_json = field(&doc, "traces")?
+        .as_array()
+        .ok_or_else(|| Error::Codec("`traces` is not an array".into()))?;
+    let mut traces = Vec::with_capacity(traces_json.len());
+    for trace in traces_json {
+        let ops_json = field(trace, "ops")?
+            .as_array()
+            .ok_or_else(|| Error::Codec("`ops` is not an array".into()))?;
+        let mut ops = Vec::with_capacity(ops_json.len());
+        for op in ops_json {
+            let line = LineAddr::new(as_u64(field(op, "line")?, "line")?);
+            let kind = match field(op, "kind")?.as_str() {
+                Some("Load") => AccessKind::Load,
+                Some("Store") => AccessKind::Store,
+                other => {
+                    return Err(Error::Codec(format!("unknown access kind {other:?}")));
+                }
+            };
+            let gap = Cycles::new(as_u64(field(op, "gap")?, "gap")?);
+            ops.push(TraceOp::new(line, kind, gap));
+        }
+        traces.push(Trace::from_ops(ops));
+    }
+    Workload::new(name, traces).map_err(|e| Error::Codec(e.to_string()))
 }
 
 /// Serializes a workload to the compact binary format.
@@ -220,6 +286,15 @@ mod tests {
         )
         .unwrap();
         assert!(to_binary(&w).unwrap_err().to_string().contains("32-bit"));
+    }
+
+    #[test]
+    fn json_rejects_malformed_documents() {
+        assert!(from_json("not json").is_err());
+        assert!(from_json(r#"{"name": "x"}"#).unwrap_err().to_string().contains("traces"));
+        let bad_kind =
+            r#"{"name": "x", "traces": [{"ops": [{"line": 0, "kind": "Fetch", "gap": 0}]}]}"#;
+        assert!(from_json(bad_kind).unwrap_err().to_string().contains("access kind"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! cargo run --release --example tradeoff_fig1
 //! ```
 
-use cohort_sim::{EventKind, SimConfig, Simulator};
+use cohort_sim::{EventKind, EventLogProbe, SimConfig, Simulator};
 use cohort_trace::micro;
 use cohort_types::TimerValue;
 
@@ -18,11 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, timer) in
         [("snoop-based", TimerValue::MSI), ("time-based", TimerValue::timed(200)?)]
     {
-        let config = SimConfig::builder(2).timer(0, timer).log_events(true).build()?;
-        let mut sim = Simulator::new(config, &workload)?;
+        let config = SimConfig::builder(2).timer(0, timer).build()?;
+        let mut sim = Simulator::with_probe(config, &workload, EventLogProbe::new())?;
         let stats = sim.run()?;
         let c1_fill = sim
-            .events()
+            .probe()
             .iter()
             .find_map(|e| match &e.kind {
                 EventKind::Fill { core: 1, latency, .. } => Some(latency.get()),

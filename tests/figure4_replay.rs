@@ -3,7 +3,7 @@
 //! chain and the MSI core's immediate hand-over.
 
 use cohort::{Protocol, SystemSpec};
-use cohort_sim::{EventKind, Simulator};
+use cohort_sim::{EventKind, EventLogProbe, Simulator};
 use cohort_trace::micro;
 use cohort_types::{Criticality, TimerValue};
 
@@ -25,19 +25,16 @@ fn figure4_chain_orders_and_delays() {
     ];
     let mut config = Protocol::Cohort { timers }.sim_config(&spec).unwrap();
     config = config.with_timers(config.timers()).unwrap(); // exercise the clone path
-    let config = cohort_sim::SimConfig::builder(4)
-        .timers(config.timers().to_vec())
-        .log_events(true)
-        .build()
-        .unwrap();
+    let config =
+        cohort_sim::SimConfig::builder(4).timers(config.timers().to_vec()).build().unwrap();
 
     let workload = micro::figure4();
-    let mut sim = Simulator::new(config, &workload).unwrap();
+    let mut sim = Simulator::with_probe(config, &workload, EventLogProbe::new()).unwrap();
     sim.run().unwrap();
     sim.validate_coherence().unwrap();
 
     let fills: Vec<(usize, u64)> = sim
-        .events()
+        .probe()
         .iter()
         .filter_map(|e| match &e.kind {
             EventKind::Fill { core, line, .. } if line.raw() == 0x40 => {
@@ -57,7 +54,7 @@ fn figure4_chain_orders_and_delays() {
     // The paper's annotations ❺/❼: c0 and c1 keep issuing their own
     // requests (X0, X1) while holding A — activity overlaps the timers.
     let side_requests: Vec<u64> = sim
-        .events()
+        .probe()
         .iter()
         .filter_map(|e| match &e.kind {
             EventKind::Broadcast { line, .. } if line.raw() != 0x40 => Some(e.cycle.get()),

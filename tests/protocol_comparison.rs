@@ -101,13 +101,16 @@ fn parallel_sweep_reproduces_sequential_results() {
 }
 
 #[test]
-#[allow(deprecated)] // the shim must keep matching the sweep it wraps
-fn deprecated_parallel_driver_still_works() {
+fn sweep_outcomes_match_the_sequential_driver() {
     let s = spec4();
     let w = micro::ping_pong(4, 10);
     let protocols = [Protocol::Msi, Protocol::MsiFcfs];
-    let jobs: Vec<_> = protocols.iter().map(|p| (&s, p, &w)).collect();
-    let outcomes = cohort::run_experiments_parallel(&jobs).unwrap();
+    let outcomes = Sweep::builder()
+        .jobs(protocols.iter().map(|p| ExperimentJob::new(s.clone(), p.clone(), w.clone())))
+        .build()
+        .run()
+        .into_outcomes()
+        .unwrap();
     for (p, outcome) in protocols.iter().zip(&outcomes) {
         let sequential = run_experiment(&s, p, &w).unwrap();
         assert_eq!(outcome.stats, sequential.stats, "{}", p.label());
