@@ -98,5 +98,5 @@ fn main() {
             worst_margin = worst_margin.min((bound - measured) as f64 / bound as f64);
         }
     }
-    println!("violations: {violations}; tightest margin {:.4}", worst_margin);
+    println!("violations: {violations}; tightest margin {worst_margin:.4}");
 }

@@ -105,24 +105,21 @@ pub fn guaranteed_hits(
     let mut cache: SetAssocCache<ModelLine> = SetAssocCache::new(*geometry);
     let mut counts = HitMissCounts::default();
     let mut now = Cycles::ZERO;
-    for op in trace.iter() {
+    for op in trace {
         now += op.gap;
         let in_window = cache
             .peek(op.line)
             .map(|l| (now.get() - l.fill.get()) < theta && (!op.kind.is_store() || l.modified));
-        match in_window {
-            Some(true) => {
-                counts.hits += 1;
-                cache.touch(op.line);
-                now += hit_latency;
-            }
-            _ => {
-                counts.misses += 1;
-                now += miss_penalty;
-                // Refill: a fresh window anchored at the (worst-case)
-                // completion instant, with the permission the request gains.
-                cache.insert(op.line, ModelLine { fill: now, modified: op.kind.is_store() });
-            }
+        if let Some(true) = in_window {
+            counts.hits += 1;
+            cache.touch(op.line);
+            now += hit_latency;
+        } else {
+            counts.misses += 1;
+            now += miss_penalty;
+            // Refill: a fresh window anchored at the (worst-case)
+            // completion instant, with the permission the request gains.
+            cache.insert(op.line, ModelLine { fill: now, modified: op.kind.is_store() });
         }
     }
     counts

@@ -2,11 +2,10 @@
 
 use proptest::prelude::*;
 
-use cohort_analysis::{guaranteed_hits, theta_saturation, wcl_miss, wcml_snoop, wcml_timed};
-use cohort_sim::CacheGeometry;
 use cohort_trace::{AccessKind, Trace, TraceOp};
-use cohort_types::{Cycles, LatencyConfig, LineAddr, TimerValue};
+use cohort_types::{Cycles, LineAddr, TimerValue};
 
+#[allow(dead_code)] // used only inside proptest! (the offline stub expands to nothing)
 fn trace_strategy() -> impl Strategy<Value = Trace> {
     let op = (0u64..600, any::<bool>(), 0u64..30).prop_map(|(line, store, gap)| {
         TraceOp::new(
@@ -18,6 +17,7 @@ fn trace_strategy() -> impl Strategy<Value = Trace> {
     proptest::collection::vec(op, 0..150).prop_map(Trace::from_ops)
 }
 
+#[allow(dead_code)] // used only inside proptest! (the offline stub expands to nothing)
 fn timers_strategy() -> impl Strategy<Value = Vec<TimerValue>> {
     proptest::collection::vec(
         prop_oneof![

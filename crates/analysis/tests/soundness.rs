@@ -5,19 +5,17 @@
 
 use proptest::prelude::*;
 
-use cohort_analysis::{
-    analyze_cohort, analyze_pcc, analyze_pendulum, wcl_pendulum, PendulumParams,
-};
-use cohort_sim::{ArbiterKind, DataPath, SimConfig, Simulator};
 use cohort_trace::{AccessKind, Trace, TraceOp, Workload};
-use cohort_types::{Cycles, LatencyConfig, LineAddr, TimerValue};
+use cohort_types::{Cycles, LineAddr, TimerValue};
 
+#[allow(dead_code)] // used only inside proptest! (the offline stub expands to nothing)
 fn timed(theta: u64) -> TimerValue {
     TimerValue::timed(theta).unwrap()
 }
 
 /// Random small workloads with burst-shaped reuse so that guaranteed hits
 /// actually occur (pure random traces rarely re-touch a line in time).
+#[allow(dead_code)] // used only inside proptest! (the offline stub expands to nothing)
 fn workload_strategy(cores: usize) -> impl Strategy<Value = Workload> {
     let burst =
         (0u64..16, any::<bool>(), 1usize..5, 0u64..6).prop_map(|(line, store, extra, gap)| {
@@ -45,6 +43,7 @@ fn workload_strategy(cores: usize) -> impl Strategy<Value = Workload> {
     )
 }
 
+#[allow(dead_code)] // used only inside proptest! (the offline stub expands to nothing)
 fn timers_strategy(cores: usize) -> impl Strategy<Value = Vec<TimerValue>> {
     proptest::collection::vec(
         prop_oneof![Just(TimerValue::MSI), (1u64..=200).prop_map(timed)],

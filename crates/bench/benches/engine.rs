@@ -38,7 +38,7 @@ fn sim_throughput(c: &mut Criterion) {
             b.iter(|| {
                 let mut sim = Simulator::new(config.clone(), &workload).unwrap();
                 black_box(sim.run().unwrap())
-            })
+            });
         });
     }
     group.finish();
@@ -58,7 +58,7 @@ fn cache_analysis(c: &mut Criterion) {
                 Cycles::new(1),
                 Cycles::new(438),
             ))
-        })
+        });
     });
     group.bench_function("theta_saturation_sweep", |b| {
         b.iter(|| {
@@ -68,13 +68,13 @@ fn cache_analysis(c: &mut Criterion) {
                 Cycles::new(1),
                 Cycles::new(54),
             ))
-        })
+        });
     });
     group.finish();
 
     c.bench_function("eq1_wcl", |b| {
         let timers = vec![TimerValue::timed(30).unwrap(); 16];
-        b.iter(|| black_box(wcl_miss(7, &timers, &LatencyConfig::paper())))
+        b.iter(|| black_box(wcl_miss(7, &timers, &LatencyConfig::paper())));
     });
 }
 
@@ -86,7 +86,7 @@ fn ga_convergence(c: &mut Criterion) {
         let ga = GeneticAlgorithm::new(space, GaConfig::default());
         b.iter(|| {
             black_box(ga.run(|genes| genes.iter().map(|&g| (g as f64 - 5_000.0).powi(2)).sum()))
-        })
+        });
     });
 }
 

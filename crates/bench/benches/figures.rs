@@ -22,7 +22,7 @@ fn tiny_ga() -> GaConfig {
 
 fn table1(c: &mut Criterion) {
     c.bench_function("table1/render", |b| {
-        b.iter(|| black_box(cohort::related::render_table_one()))
+        b.iter(|| black_box(cohort::related::render_table_one()));
     });
 }
 
@@ -36,7 +36,7 @@ fn table2(c: &mut Criterion) {
         .unwrap();
     let workload = tiny_kernel(Kernel::Fft);
     c.bench_function("table2/configure_modes", |b| {
-        b.iter(|| black_box(configure_modes(&spec, &workload, &tiny_ga()).unwrap()))
+        b.iter(|| black_box(configure_modes(&spec, &workload, &tiny_ga()).unwrap()));
     });
 }
 
@@ -48,7 +48,7 @@ fn fig1(c: &mut Criterion) {
             let mut sim =
                 Simulator::with_probe(config.clone(), &workload, EventLogProbe::new()).unwrap();
             black_box(sim.run().unwrap())
-        })
+        });
     });
 }
 
@@ -65,7 +65,7 @@ fn fig4(c: &mut Criterion) {
             let mut sim =
                 Simulator::with_probe(config.clone(), &workload, EventLogProbe::new()).unwrap();
             black_box(sim.run().unwrap())
-        })
+        });
     });
 }
 
@@ -73,7 +73,7 @@ fn fig5(c: &mut Criterion) {
     let workload = tiny_kernel(Kernel::Fft);
     for config in CritConfig::ALL {
         c.bench_function(&format!("fig5/{}/fft", config.slug()), |b| {
-            b.iter(|| black_box(sweep_protocols(config, &workload, &tiny_ga()).unwrap()))
+            b.iter(|| black_box(sweep_protocols(config, &workload, &tiny_ga()).unwrap()));
         });
     }
 }
@@ -83,7 +83,7 @@ fn fig6(c: &mut Criterion) {
     let spec = CritConfig::AllCr.spec();
     let workload = tiny_kernel(Kernel::Water);
     c.bench_function("fig6/baseline_msi_fcfs/water", |b| {
-        b.iter(|| black_box(run_experiment(&spec, &Protocol::MsiFcfs, &workload).unwrap()))
+        b.iter(|| black_box(run_experiment(&spec, &Protocol::MsiFcfs, &workload).unwrap()));
     });
     let timers = optimize_cohort_timers(CritConfig::AllCr, &workload, &tiny_ga()).unwrap();
     c.bench_function("fig6/cohort/water", |b| {
@@ -92,7 +92,7 @@ fn fig6(c: &mut Criterion) {
                 run_experiment(&spec, &Protocol::Cohort { timers: timers.clone() }, &workload)
                     .unwrap(),
             )
-        })
+        });
     });
 }
 
@@ -114,7 +114,7 @@ fn fig7(c: &mut Criterion) {
                 let _ =
                     black_box(controller.requirement_changed(c0, cohort_types::Cycles::new(gamma)));
             }
-        })
+        });
     });
 }
 

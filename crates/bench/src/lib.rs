@@ -311,7 +311,11 @@ pub fn mode_switch_spec() -> SystemSpec {
 #[must_use]
 pub fn fig7_stage_requirements(bounds: &[u64]) -> [u64; 3] {
     assert!(bounds.len() >= 4, "the Figure-7 platform has four modes");
-    [bounds[0] * 102 / 100, (bounds[1] + bounds[2]) / 2, (bounds[2] + bounds[3]) / 2]
+    [
+        bounds[0] * 102 / 100,
+        u64::midpoint(bounds[1], bounds[2]),
+        u64::midpoint(bounds[2], bounds[3]),
+    ]
 }
 
 /// Machine-readable record of one protocol run (one element of the

@@ -433,9 +433,7 @@ mod tests {
     fn a_panicking_job_is_isolated_and_reported() {
         let sweep = Sweep::builder().jobs(tiny_jobs(5)).workers(2).build();
         let report = sweep.run_with(&SilentObserver, |job| {
-            if job.label == "job-2" {
-                panic!("poisoned job");
-            }
+            assert!(job.label != "job-2", "poisoned job");
             Ok(dummy_outcome(job))
         });
         assert_eq!(report.results.len(), 5, "siblings of the panicking job complete");
@@ -485,14 +483,14 @@ mod tests {
 
     #[test]
     fn worker_threads_never_exceed_available_parallelism() {
-        let limit = pool::default_workers();
-        let threads = Mutex::new(HashSet::new());
         struct ThreadRecorder<'a>(&'a Mutex<HashSet<std::thread::ThreadId>>);
         impl SweepObserver for ThreadRecorder<'_> {
             fn job_started(&self, _index: usize, _label: &str) {
                 self.0.lock().unwrap().insert(std::thread::current().id());
             }
         }
+        let limit = pool::default_workers();
+        let threads = Mutex::new(HashSet::new());
         let sweep = Sweep::builder().jobs(tiny_jobs(24)).build();
         let report = sweep.run_with(&ThreadRecorder(&threads), |job| {
             std::thread::sleep(Duration::from_millis(1));
@@ -509,7 +507,6 @@ mod tests {
 
     #[test]
     fn observer_sees_every_job_with_progress() {
-        let events = Mutex::new(Vec::new());
         struct Recorder<'a>(&'a Mutex<Vec<(usize, String, bool)>>);
         impl SweepObserver for Recorder<'_> {
             fn job_finished(&self, index: usize, label: &str, progress: &JobProgress) {
@@ -517,6 +514,7 @@ mod tests {
                 assert!(progress.ok == (progress.cycles > 0));
             }
         }
+        let events = Mutex::new(Vec::new());
         let sweep = Sweep::builder().jobs(tiny_jobs(6)).workers(2).build();
         let report = sweep.run_observed(&Recorder(&events));
         let mut seen = events.into_inner().unwrap();

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// The default worker count: the machine's available parallelism
 /// (falling back to 1 when the OS cannot report it).
 pub(crate) fn default_workers() -> usize {
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 
 /// Runs `f(index, &items[index])` for every item on at most `workers`

@@ -182,6 +182,36 @@ impl Protocol {
         config.build()
     }
 
+    /// Exports the per-core timer-register table this protocol programs.
+    ///
+    /// This is the protocol-level abstraction consumed by `cohort-verif`'s
+    /// model checker: the timer class of each core (MSI / θ = 0 / θ > 0)
+    /// is the only protocol knob the coherence invariants depend on, so a
+    /// preset's verification model is fully determined by this table.
+    /// MSI-family baselines (plain, FCFS, PCC) program every register to
+    /// θ = −1; PENDULUM programs its uniform θ everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the preset carries a per-core
+    /// vector whose length does not match `cores`, or a θ outside the
+    /// 16-bit register range.
+    pub fn timer_table(&self, cores: usize) -> Result<Vec<TimerValue>> {
+        match self {
+            Protocol::Cohort { timers } => {
+                if timers.len() != cores {
+                    return Err(Error::InvalidConfig(format!(
+                        "CoHoRT expects {cores} timers, got {}",
+                        timers.len()
+                    )));
+                }
+                Ok(timers.clone())
+            }
+            Protocol::Msi | Protocol::MsiFcfs | Protocol::Pcc => Ok(vec![TimerValue::Msi; cores]),
+            Protocol::Pendulum { theta, .. } => Ok(vec![TimerValue::timed(*theta)?; cores]),
+        }
+    }
+
     /// Computes the per-core analytical WCML bounds, or `None` for
     /// protocols without an analysis (the COTS FCFS baseline).
     ///
@@ -277,6 +307,21 @@ mod tests {
         let s = spec(3);
         assert!(Protocol::Cohort { timers: vec![TimerValue::MSI] }.sim_config(&s).is_err());
         assert!(Protocol::Pendulum { critical: vec![true], theta: 1 }.sim_config(&s).is_err());
+    }
+
+    #[test]
+    fn timer_tables_reflect_each_preset() {
+        let timers = vec![TimerValue::timed(30).unwrap(), TimerValue::MSI];
+        let p = Protocol::Cohort { timers: timers.clone() };
+        assert_eq!(p.timer_table(2).unwrap(), timers);
+        assert!(p.timer_table(3).is_err(), "length mismatch must be rejected");
+
+        assert_eq!(Protocol::Msi.timer_table(2).unwrap(), vec![TimerValue::Msi; 2]);
+        assert_eq!(Protocol::Pcc.timer_table(1).unwrap(), vec![TimerValue::Msi]);
+
+        let pendulum = Protocol::Pendulum { critical: vec![true, false], theta: 50 };
+        let table = pendulum.timer_table(2).unwrap();
+        assert!(table.iter().all(|t| t.theta() == Some(50)), "PENDULUM is uniform");
     }
 
     #[test]

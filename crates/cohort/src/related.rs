@@ -81,21 +81,25 @@ pub fn table_one() -> Vec<TableOneRow> {
 /// Renders Table I as an aligned text table (the `table1` bench target).
 #[must_use]
 pub fn render_table_one() -> String {
+    use std::fmt::Write;
+
     let rows = table_one();
     let mut out = String::new();
-    out.push_str(&format!(
-        "{:<36} {:>14} {:>12} {:>13} {:>15}\n",
+    let _ = writeln!(
+        out,
+        "{:<36} {:>14} {:>12} {:>13} {:>15}",
         "Work Categories", "Heterogeneity", "Criticality", "Requirements", "Mode Switching"
-    ));
+    );
     for row in rows {
-        out.push_str(&format!(
-            "{:<36} {:>14} {:>12} {:>13} {:>15}\n",
+        let _ = writeln!(
+            out,
+            "{:<36} {:>14} {:>12} {:>13} {:>15}",
             row.works,
             row.heterogeneity.to_string(),
             row.criticality.to_string(),
             row.requirements.to_string(),
             row.mode_switching.to_string()
-        ));
+        );
     }
     out
 }

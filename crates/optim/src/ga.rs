@@ -235,7 +235,7 @@ impl GeneticAlgorithm {
                 let a = self.tournament(&population, &mut rng);
                 let child = if rng.gen_bool(self.config.crossover_rate) {
                     let b = self.tournament(&population, &mut rng);
-                    self.crossover(&population[a].0, &population[b].0, &mut rng)
+                    Self::crossover(&population[a].0, &population[b].0, &mut rng)
                 } else {
                     population[a].0.clone()
                 };
@@ -268,7 +268,7 @@ impl GeneticAlgorithm {
         best
     }
 
-    fn crossover(&self, a: &[u64], b: &[u64], rng: &mut ChaCha8Rng) -> Vec<u64> {
+    fn crossover(a: &[u64], b: &[u64], rng: &mut ChaCha8Rng) -> Vec<u64> {
         a.iter().zip(b).map(|(&ga, &gb)| if rng.gen_bool(0.5) { ga } else { gb }).collect()
     }
 

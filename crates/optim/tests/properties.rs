@@ -2,10 +2,9 @@
 
 use proptest::prelude::*;
 
-use cohort_optim::{GaConfig, GeneticAlgorithm, SearchSpace, TimerProblem};
-use cohort_trace::micro;
-use cohort_types::Cycles;
+use cohort_optim::GaConfig;
 
+#[allow(dead_code)] // used only inside proptest! (the offline stub expands to nothing)
 fn small_config() -> GaConfig {
     GaConfig { population: 12, generations: 6, ..Default::default() }
 }

@@ -172,6 +172,7 @@ fn rotate_to_back(order: &mut VecDeque<usize>, core: usize) {
 mod tests {
     use super::*;
 
+    #[allow(clippy::unnecessary_wraps)] // candidate slots are Option-typed
     fn cand(issued: u64, kind: CandidateKind) -> Option<Candidate> {
         Some(Candidate { kind, issued: Cycles::new(issued), line: cohort_types::LineAddr::new(0) })
     }

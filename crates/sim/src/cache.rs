@@ -180,8 +180,7 @@ impl<T> SetAssocCache<T> {
                 .enumerate()
                 .rev()
                 .find(|(_, (l, t))| evictable(*l, t))
-                .map(|(i, _)| i)
-                .unwrap_or(entries.len() - 1);
+                .map_or(entries.len() - 1, |(i, _)| i);
             Some(entries.remove(victim))
         } else {
             None

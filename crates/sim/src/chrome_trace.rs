@@ -294,7 +294,7 @@ mod tests {
         assert_eq!(phases.iter().filter(|p| **p == "B").count(), 1);
         assert_eq!(phases.iter().filter(|p| **p == "E").count(), 1);
         let begin = events.iter().find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("B"));
-        assert_eq!(begin.unwrap().get("ts").and_then(|v| v.as_u64()), Some(10));
+        assert_eq!(begin.unwrap().get("ts").and_then(serde_json::Value::as_u64), Some(10));
     }
 
     #[test]
@@ -317,7 +317,7 @@ mod tests {
             .iter()
             .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
             .expect("one X span per miss");
-        assert_eq!(miss.get("ts").and_then(|v| v.as_u64()), Some(10));
-        assert_eq!(miss.get("dur").and_then(|v| v.as_u64()), Some(54));
+        assert_eq!(miss.get("ts").and_then(serde_json::Value::as_u64), Some(10));
+        assert_eq!(miss.get("dur").and_then(serde_json::Value::as_u64), Some(54));
     }
 }

@@ -80,7 +80,18 @@ impl LineCoh {
     }
 
     /// Sets the owner.
+    ///
+    /// In debug builds this asserts the exclusivity invariant: a core may
+    /// only take ownership of a line with no Shared holders (the protocol
+    /// always invalidates or downgrades sharers before a hand-over), so a
+    /// line never has both an owner core and sharers.
     pub fn set_owner(&mut self, owner: Owner) {
+        debug_assert!(
+            owner.core().is_none() || self.sharers == 0,
+            "core {:?} may not own a line that still has sharers {:#b}",
+            owner.core(),
+            self.sharers
+        );
         self.owner_core = owner.core();
     }
 
@@ -91,7 +102,17 @@ impl LineCoh {
     }
 
     /// Adds a Shared holder.
+    ///
+    /// In debug builds this asserts the exclusivity invariant: Shared
+    /// copies may only coexist with LLC ownership (an owning core is
+    /// downgraded — and its ownership returned — before anyone else gets a
+    /// copy), so the owner is never also in the sharer bitmask.
     pub fn add_sharer(&mut self, core: usize) {
+        debug_assert!(
+            self.owner_core.is_none(),
+            "cannot add sharer c{core} while c{} owns the line",
+            self.owner_core.unwrap_or(usize::MAX)
+        );
         self.sharers |= 1 << core;
     }
 
@@ -261,11 +282,33 @@ mod tests {
 
     #[test]
     fn holders_include_owner_and_sharers() {
+        // An owning core is the sole holder (exclusivity invariant) …
         let mut line = LineCoh::default();
         line.set_owner(Owner::Core(2));
+        assert_eq!(line.holders().collect::<Vec<_>>(), vec![2]);
+        // … and under LLC ownership the holders are exactly the sharers.
+        let mut line = LineCoh::default();
         line.add_sharer(1);
-        let holders: Vec<usize> = line.holders().collect();
-        assert_eq!(holders, vec![2, 1]);
+        line.add_sharer(3);
+        assert_eq!(line.holders().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "may not own a line that still has sharers")]
+    #[cfg(debug_assertions)]
+    fn owner_with_sharers_is_rejected() {
+        let mut line = LineCoh::default();
+        line.add_sharer(1);
+        line.set_owner(Owner::Core(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot add sharer")]
+    #[cfg(debug_assertions)]
+    fn sharer_under_core_owner_is_rejected() {
+        let mut line = LineCoh::default();
+        line.set_owner(Owner::Core(0));
+        line.add_sharer(1);
     }
 
     #[test]
@@ -281,22 +324,92 @@ mod tests {
 
     #[test]
     fn dispossession_rules() {
+        // GetM dispossesses a Modified owner …
         let mut line = LineCoh::default();
         line.set_owner(Owner::Core(0));
-        line.add_sharer(1);
         line.enqueue(Waiter { core: 2, kind: ReqKind::GetM, enqueued: Cycles::ZERO });
-        // GetM dispossesses owner and sharers alike.
         assert!(line.head_dispossesses(0));
-        assert!(line.head_dispossesses(1));
         assert!(!line.head_dispossesses(3));
 
+        // … and Shared holders alike.
+        let mut line = LineCoh::default();
+        line.add_sharer(1);
+        line.add_sharer(3);
+        line.enqueue(Waiter { core: 2, kind: ReqKind::GetM, enqueued: Cycles::ZERO });
+        assert!(line.head_dispossesses(1));
+        assert!(line.head_dispossesses(3));
+        assert!(!line.head_dispossesses(2), "the requester itself is never dispossessed");
+
+        // GetS only dispossesses the Modified owner, never sharers.
         let mut line = LineCoh::default();
         line.set_owner(Owner::Core(0));
-        line.add_sharer(1);
         line.enqueue(Waiter { core: 2, kind: ReqKind::GetS, enqueued: Cycles::ZERO });
-        // GetS only dispossesses the Modified owner.
         assert!(line.head_dispossesses(0));
         assert!(!line.head_dispossesses(1));
+
+        let mut line = LineCoh::default();
+        line.add_sharer(1);
+        line.enqueue(Waiter { core: 2, kind: ReqKind::GetS, enqueued: Cycles::ZERO });
+        assert!(!line.head_dispossesses(1), "GetS leaves Shared copies in place");
+    }
+
+    #[test]
+    fn dispossession_follows_the_head_across_kinds() {
+        // A GetS head behind it does not shield holders from the GetM head
+        // (and vice versa once the head is served).
+        let mut line = LineCoh::default();
+        line.set_owner(Owner::Core(0));
+        line.enqueue(Waiter { core: 1, kind: ReqKind::GetS, enqueued: Cycles::ZERO });
+        line.enqueue(Waiter { core: 2, kind: ReqKind::GetM, enqueued: Cycles::new(4) });
+        // Head is the GetS: only the owner releases.
+        assert!(line.head_dispossesses(0));
+        assert_eq!(line.head().unwrap().kind, ReqKind::GetS);
+        // Serve the GetS (owner downgrades to Shared under LLC ownership).
+        line.dequeue();
+        line.set_owner(Owner::Llc);
+        line.add_sharer(0);
+        line.add_sharer(1);
+        // Now the GetM head dispossesses both sharers but not the requester.
+        assert!(line.head_dispossesses(0));
+        assert!(line.head_dispossesses(1));
+        assert!(!line.head_dispossesses(2));
+        // No waiters → nobody is dispossessed.
+        line.dequeue();
+        assert!(!line.head_dispossesses(0));
+    }
+
+    #[test]
+    fn enqueue_critical_orders_by_criticality_then_fifo() {
+        let critical = |c: usize| c == 0 || c == 1;
+        let w =
+            |core: usize, at: u64| Waiter { core, kind: ReqKind::GetM, enqueued: Cycles::new(at) };
+        let mut line = LineCoh::default();
+        // Two non-critical waiters arrive first.
+        line.enqueue(w(2, 1));
+        line.enqueue(w(3, 2));
+        // A critical waiter jumps ahead of every queued non-critical one.
+        line.enqueue_critical(w(0, 3), critical);
+        // A second critical waiter stays FIFO among criticals.
+        line.enqueue_critical(w(1, 4), critical);
+        let order: Vec<usize> = line.waiters().iter().map(|w| w.core).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+
+        // Plain enqueue of a non-critical request goes to the back.
+        line.enqueue(w(2, 5));
+        assert_eq!(line.waiters().len(), 5);
+        assert_eq!(line.waiters().back().unwrap().core, 2);
+    }
+
+    #[test]
+    fn enqueue_critical_in_empty_and_all_critical_queues_is_fifo() {
+        let critical = |_: usize| true;
+        let w = |core: usize| Waiter { core, kind: ReqKind::GetS, enqueued: Cycles::ZERO };
+        let mut line = LineCoh::default();
+        line.enqueue_critical(w(1), critical);
+        line.enqueue_critical(w(0), critical);
+        line.enqueue_critical(w(2), critical);
+        let order: Vec<usize> = line.waiters().iter().map(|w| w.core).collect();
+        assert_eq!(order, vec![1, 0, 2], "all-critical queues degenerate to FIFO");
     }
 
     #[test]

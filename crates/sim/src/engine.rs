@@ -33,7 +33,7 @@ use crate::core_model::{CoreModel, MshrEntry};
 use crate::event::{EventKind, InvalidateCause};
 use crate::probe::{BusTenure, NoProbe, SimProbe, TenureKind};
 use crate::timer::release_time;
-use crate::{DataPath, LlcModel, ProtocolFlavor, SimConfig, SimStats};
+use crate::{CoreStats, DataPath, LlcModel, ProtocolFlavor, SimConfig, SimStats};
 
 /// Outcome of evaluating one trace operation against the private cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,7 +174,7 @@ impl<P: SimProbe> Simulator<P> {
         let slot = config.latency().slot_width() + config.latency().memory;
         let arbiter = Arbiter::new(config.arbiter(), config.cores(), slot);
         let stats =
-            SimStats { cores: vec![Default::default(); config.cores()], ..Default::default() };
+            SimStats { cores: vec![CoreStats::default(); config.cores()], ..Default::default() };
         if P::ACTIVE {
             probe.on_start(&config);
         }
@@ -244,6 +244,28 @@ impl<P: SimProbe> Simulator<P> {
     #[must_use]
     pub fn is_finished(&self) -> bool {
         self.txn.is_none() && self.cores.iter().all(CoreModel::is_done)
+    }
+
+    // ----- state inspection (verification harnesses) -----------------------
+
+    /// The live bus-visible coherence bookkeeping: owners, sharers and
+    /// waiter queues per line. Exposed read-only so external harnesses
+    /// (the `cohort-verif` replay driver, invariant tests) can deep-check
+    /// the engine state between [`Simulator::run_until`] steps.
+    #[must_use]
+    pub fn coherence(&self) -> &CoherenceMap {
+        &self.coh
+    }
+
+    /// The private cache of `core`, including per-line coherence state and
+    /// timer anchors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn l1(&self, core: usize) -> &SetAssocCache<L1Line> {
+        &self.l1s[core]
     }
 
     /// Schedules a re-programming of all timer registers at `at` — the
@@ -645,7 +667,7 @@ impl<P: SimProbe> Simulator<P> {
         let fused = self.coh.get(m.line).is_some_and(|c| c.is_head(id))
             && self.holders_released(m.line, snoop_at);
         if fused {
-            let from = self.coh.get(m.line).map_or(Owner::Llc, |c| c.owner());
+            let from = self.coh.get(m.line).map_or(Owner::Llc, super::coherence::LineCoh::owner);
             let duration = self.transfer_duration(from, m.line);
             self.stats.transfers += 1;
             if P::ACTIVE {
@@ -693,7 +715,7 @@ impl<P: SimProbe> Simulator<P> {
                 && self.holders_released(line, self.now),
             "granted receive candidate is ready"
         );
-        let from = self.coh.get(line).map_or(Owner::Llc, |c| c.owner());
+        let from = self.coh.get(line).map_or(Owner::Llc, super::coherence::LineCoh::owner);
         let duration = self.transfer_duration(from, line);
         self.stats.transfers += 1;
         if P::ACTIVE {
@@ -983,7 +1005,7 @@ impl<P: SimProbe> Simulator<P> {
             if shared.contains_key(line) {
                 return Err(format!("{line} simultaneously owned and Shared"));
             }
-            let owner = self.coh.get(*line).map(|c| c.owner());
+            let owner = self.coh.get(*line).map(super::coherence::LineCoh::owner);
             if owner != Some(Owner::Core(owners[0])) {
                 return Err(format!(
                     "{line} owned by c{} but coherence owner is {owner:?}",

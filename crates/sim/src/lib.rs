@@ -56,6 +56,7 @@ mod config;
 mod core_model;
 mod engine;
 mod event;
+mod invariant;
 mod metrics;
 mod probe;
 mod stats;
@@ -71,6 +72,7 @@ pub use config::{
 };
 pub use engine::Simulator;
 pub use event::{Event, EventKind, EventLogProbe, InvalidateCause};
+pub use invariant::{InvariantKind, InvariantProbe, InvariantViolation};
 pub use metrics::{CoreMetrics, LatencyHistogram, MetricsProbe, MetricsReport};
 pub use probe::{BusTenure, NoProbe, SimProbe, TenureKind};
 pub use stats::{CoreStats, SimStats};

@@ -487,7 +487,7 @@ impl SimProbe for MetricsProbe {
                         self.occupancy[core].clear(at);
                     }
                 }
-                self.timers = timers.clone();
+                self.timers.clone_from(timers);
             }
             _ => {}
         }
@@ -597,11 +597,11 @@ mod tests {
             }],
         };
         let json = report.to_json();
-        assert_eq!(json.get("cycles").and_then(|v| v.as_u64()), Some(1000));
+        assert_eq!(json.get("cycles").and_then(serde_json::Value::as_u64), Some(1000));
         let cores = json.get("cores").and_then(|v| v.as_array()).unwrap();
         assert_eq!(cores.len(), 1);
-        assert_eq!(cores[0].get("accesses").and_then(|v| v.as_u64()), Some(2));
-        assert_eq!(cores[0].get("wcl_bound").and_then(|v| v.as_u64()), Some(216));
+        assert_eq!(cores[0].get("accesses").and_then(serde_json::Value::as_u64), Some(2));
+        assert_eq!(cores[0].get("wcl_bound").and_then(serde_json::Value::as_u64), Some(216));
         assert_eq!(cores[0].get("histogram").and_then(|v| v.as_array()).map(Vec::len), Some(2));
         let text = serde_json::to_string(&json).unwrap();
         assert!(text.contains("bus_utilisation"));

@@ -257,10 +257,10 @@ mod tests {
 
     #[test]
     fn no_probe_is_statically_inactive() {
-        assert!(!NoProbe::ACTIVE);
-        assert!(!<(NoProbe, NoProbe)>::ACTIVE);
-        assert!(<(NoProbe, Counter)>::ACTIVE);
-        assert!(<(Counter, NoProbe, NoProbe)>::ACTIVE);
+        const { assert!(!NoProbe::ACTIVE) };
+        const { assert!(!<(NoProbe, NoProbe)>::ACTIVE) };
+        const { assert!(<(NoProbe, Counter)>::ACTIVE) };
+        const { assert!(<(Counter, NoProbe, NoProbe)>::ACTIVE) };
     }
 
     #[test]

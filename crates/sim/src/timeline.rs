@@ -123,8 +123,7 @@ pub fn render_timeline(events: &[Event], cores: usize, options: &TimelineOptions
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "timeline ({} cycles/column; + hit  ? miss  B broadcast  > transfer  F fill  d downgrade  x invalidate)",
-        quantum
+        "timeline ({quantum} cycles/column; + hit  ? miss  B broadcast  > transfer  F fill  d downgrade  x invalidate)"
     );
     if !switches.is_empty() {
         let _ = writeln!(out, "timer switches at cycles {switches:?}");

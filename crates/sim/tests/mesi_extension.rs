@@ -99,7 +99,7 @@ fn mesi_never_reduces_hits_on_kernels() {
         // Lines touched by exactly one core in the whole workload.
         let mut touched_by: HashMap<u64, HashSet<usize>> = HashMap::new();
         for (core, trace) in w.traces().iter().enumerate() {
-            for op in trace.iter() {
+            for op in trace {
                 touched_by.entry(op.line.raw()).or_default().insert(core);
             }
         }

@@ -144,13 +144,13 @@ fn metrics_report_json_is_schema_shaped() {
     let mut sim = Simulator::with_probe(cohort_config(), &w, MetricsProbe::new()).unwrap();
     sim.run().unwrap();
     let json = sim.into_probe().into_report().to_json();
-    assert!(json.get("cycles").and_then(|v| v.as_u64()).is_some());
-    assert!(json.get("bus_utilisation").and_then(|v| v.as_f64()).is_some());
+    assert!(json.get("cycles").and_then(serde_json::Value::as_u64).is_some());
+    assert!(json.get("bus_utilisation").and_then(serde_json::Value::as_f64).is_some());
     let cores = json.get("cores").and_then(|v| v.as_array()).expect("cores array");
     assert_eq!(cores.len(), 4);
     for core in cores {
         for key in ["accesses", "latency_p50", "latency_p99", "latency_max", "bus_busy"] {
-            assert!(core.get(key).and_then(|v| v.as_u64()).is_some(), "missing {key}");
+            assert!(core.get(key).and_then(serde_json::Value::as_u64).is_some(), "missing {key}");
         }
         assert!(core.get("histogram").and_then(|v| v.as_array()).is_some());
     }
@@ -181,8 +181,8 @@ fn chrome_trace_is_valid_json_with_balanced_pairs() {
     let mut depth = 0i64;
     let mut last_ts = 0u64;
     for e in events.iter().filter(|e| phase(e) == "B" || phase(e) == "E") {
-        assert_eq!(e.get("tid").and_then(|v| v.as_u64()), Some(bus_tid));
-        let ts = e.get("ts").and_then(|v| v.as_u64()).unwrap();
+        assert_eq!(e.get("tid").and_then(serde_json::Value::as_u64), Some(bus_tid));
+        let ts = e.get("ts").and_then(serde_json::Value::as_u64).unwrap();
         assert!(ts >= last_ts, "bus pairs are emitted in order");
         last_ts = ts;
         depth += if phase(e) == "B" { 1 } else { -1 };

@@ -4,11 +4,12 @@
 
 use proptest::prelude::*;
 
-use cohort_sim::{ArbiterKind, DataPath, SimConfig, Simulator};
-use cohort_trace::{micro, AccessKind, Trace, TraceOp, Workload};
+use cohort_sim::ArbiterKind;
+use cohort_trace::{AccessKind, Trace, TraceOp, Workload};
 use cohort_types::{Cycles, LineAddr, TimerValue};
 
 /// An arbitrary timer value: MSI or a small θ.
+#[allow(dead_code)] // used only inside proptest! (the offline stub expands to nothing)
 fn timer_strategy() -> impl Strategy<Value = TimerValue> {
     prop_oneof![
         Just(TimerValue::MSI),
@@ -17,6 +18,7 @@ fn timer_strategy() -> impl Strategy<Value = TimerValue> {
 }
 
 /// An arbitrary small workload over a handful of lines (dense sharing).
+#[allow(dead_code)] // used only inside proptest! (the offline stub expands to nothing)
 fn workload_strategy(cores: usize) -> impl Strategy<Value = Workload> {
     let op = (0u64..12, any::<bool>(), 0u64..8).prop_map(|(line, store, gap)| {
         TraceOp::new(
@@ -33,6 +35,7 @@ fn workload_strategy(cores: usize) -> impl Strategy<Value = Workload> {
     )
 }
 
+#[allow(dead_code)] // used only inside proptest! (the offline stub expands to nothing)
 fn arbiter_strategy(cores: usize) -> impl Strategy<Value = ArbiterKind> {
     prop_oneof![
         Just(ArbiterKind::Rrof),

@@ -139,12 +139,12 @@ pub fn to_binary(workload: &Workload) -> Result<Bytes> {
     buf.put_u32_le(workload.cores() as u32);
     for trace in workload.traces() {
         buf.put_u64_le(trace.len() as u64);
-        for op in trace.iter() {
+        for op in trace {
             let gap = u32::try_from(op.gap.get()).map_err(|_| {
                 Error::Codec(format!("compute gap {} exceeds the 32-bit field", op.gap.get()))
             })?;
             buf.put_u64_le(op.line.raw());
-            buf.put_u8(if op.kind.is_store() { 1 } else { 0 });
+            buf.put_u8(u8::from(op.kind.is_store()));
             buf.put_u32_le(gap);
         }
     }

@@ -2,9 +2,10 @@
 
 use proptest::prelude::*;
 
-use cohort_trace::{codec, AccessKind, Kernel, KernelSpec, Trace, TraceOp, Workload};
+use cohort_trace::{AccessKind, Trace, TraceOp, Workload};
 use cohort_types::{Cycles, LineAddr};
 
+#[allow(dead_code)] // used only inside proptest! (the offline stub expands to nothing)
 fn op_strategy() -> impl Strategy<Value = TraceOp> {
     (any::<u64>(), any::<bool>(), 0u64..=u64::from(u32::MAX)).prop_map(|(line, store, gap)| {
         TraceOp::new(
@@ -15,6 +16,7 @@ fn op_strategy() -> impl Strategy<Value = TraceOp> {
     })
 }
 
+#[allow(dead_code)] // used only inside proptest! (the offline stub expands to nothing)
 fn workload_strategy() -> impl Strategy<Value = Workload> {
     proptest::collection::vec(proptest::collection::vec(op_strategy(), 0..40), 1..5).prop_map(
         |traces| {

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut controller = ModeController::new(config.clone());
     let scenarios = [
         ("city driving", Cycles::new(bound(1).get() + 1_000)),
-        ("highway entry", Cycles::new((bound(2).get() + bound(3).get()) / 2)),
+        ("highway entry", Cycles::new(u64::midpoint(bound(2).get(), bound(3).get()))),
         ("emergency zone", Cycles::new(bound(4).get() + 100)),
     ];
     println!("\nscenario          braking budget     decision");

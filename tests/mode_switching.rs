@@ -43,11 +43,11 @@ fn figure7_narrative_reproduces() {
     let d1 = controller.requirement_changed(c0, Cycles::new(bounds[0] + 1)).unwrap();
     assert_eq!(d1, ModeDecision::Stay(Mode::NORMAL));
 
-    let gamma2 = (bounds[1] + bounds[2]) / 2;
+    let gamma2 = u64::midpoint(bounds[1], bounds[2]);
     let d2 = controller.requirement_changed(c0, Cycles::new(gamma2)).unwrap();
     assert_eq!(d2, ModeDecision::Escalate(Mode::new(3).unwrap()), "mode 2 is skipped");
 
-    let gamma3 = (bounds[2] + bounds[3]) / 2;
+    let gamma3 = u64::midpoint(bounds[2], bounds[3]);
     let d3 = controller.requirement_changed(c0, Cycles::new(gamma3)).unwrap();
     assert_eq!(d3, ModeDecision::Escalate(Mode::new(4).unwrap()));
 
