@@ -1,10 +1,11 @@
 //! Validates the machine-readable artifacts of the figure bins: a `--json`
-//! report and/or a `--trace` Chrome-trace file. Exits non-zero on the
-//! first schema violation — CI runs this after a smoke regeneration.
+//! report, a `--trace` Chrome-trace file, and/or an `--optim` GA-engine
+//! benchmark report. Exits non-zero on the first schema violation — CI
+//! runs this after a smoke regeneration.
 //!
 //! ```text
 //! cargo run --release -p cohort-bench --bin schema_check -- \
-//!     [--report <report.json>] [--trace <trace.json>]
+//!     [--report <report.json>] [--trace <trace.json>] [--optim <optim.json>]
 //! ```
 
 use std::path::Path;
@@ -127,6 +128,60 @@ fn check_report(doc: &serde_json::Value) -> CheckResult {
     Ok(())
 }
 
+/// Checks an `optim` engine-benchmark document.
+fn check_optim(doc: &serde_json::Value) -> CheckResult {
+    expect_str(doc, "generator", "optim")?;
+    if get(doc, "generator", "optim")?.as_str() != Some("optim") {
+        return Err("optim: `generator` is not \"optim\"".into());
+    }
+    for key in ["host_parallelism", "population", "generations", "spins", "requests", "reps"] {
+        expect_u64(doc, key, "optim")?;
+    }
+    expect_f64(doc, "speedup", "optim")?;
+    if get(doc, "bit_identical", "optim")?.as_bool() != Some(true) {
+        return Err("optim: `bit_identical` must be true".into());
+    }
+    let runs = get(doc, "runs", "optim")?
+        .as_array()
+        .ok_or_else(|| "optim: `runs` is not an array".to_string())?;
+    if runs.len() != 2 {
+        return Err(format!("optim: expected a serial and a parallel run, got {}", runs.len()));
+    }
+    for (i, run) in runs.iter().enumerate() {
+        let what = format!("optim.runs[{i}]");
+        for key in ["workers", "evaluations", "cache_hits", "nan_evaluations"] {
+            expect_u64(run, key, &what)?;
+        }
+        for key in ["seconds", "generations_per_sec", "cache_hit_rate", "best_fitness"] {
+            expect_f64(run, key, &what)?;
+        }
+        expect_str(run, "stop", &what)?;
+        let rate = get(run, "cache_hit_rate", &what)?.as_f64().unwrap_or(-1.0);
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("{what}: cache_hit_rate {rate} outside [0, 1]"));
+        }
+    }
+    // Parallel evaluation must never change what gets evaluated.
+    let evals: Vec<Option<u64>> = runs.iter().map(|r| r.get("evaluations")?.as_u64()).collect();
+    if evals[0] != evals[1] {
+        return Err(format!("optim: serial/parallel evaluation counts differ: {evals:?}"));
+    }
+    let timer = get(doc, "timer_problem", "optim")?;
+    let what = "optim.timer_problem";
+    for key in ["evaluations", "cache_hits"] {
+        expect_u64(timer, key, what)?;
+    }
+    for key in ["seconds", "cache_hit_rate", "best_fitness"] {
+        expect_f64(timer, key, what)?;
+    }
+    expect_str(timer, "stop", what)?;
+    if get(timer, "feasible", what)?.as_bool().is_none() {
+        return Err(format!("{what}: `feasible` is not a boolean"));
+    }
+    println!("optim ok: speedup {}×", get(doc, "speedup", "optim")?.as_f64().unwrap_or(0.0));
+    Ok(())
+}
+
 /// Checks a Chrome-trace (`traceEvents`) document.
 fn check_trace(doc: &serde_json::Value) -> CheckResult {
     let events = get(doc, "traceEvents", "trace")?
@@ -192,14 +247,19 @@ fn main() -> ExitCode {
         let (kind, path) = match arg.as_str() {
             "--report" => ("report", args.next().expect("--report needs a path")),
             "--trace" => ("trace", args.next().expect("--trace needs a path")),
+            "--optim" => ("optim", args.next().expect("--optim needs a path")),
             other => {
-                eprintln!("unknown flag `{other}` (use --report <path>, --trace <path>)");
+                eprintln!(
+                    "unknown flag `{other}` (use --report <path>, --trace <path>, \
+                     --optim <path>)"
+                );
                 return ExitCode::FAILURE;
             }
         };
         checked = true;
         let outcome = load(&path).and_then(|doc| match kind {
             "report" => check_report(&doc),
+            "optim" => check_optim(&doc),
             _ => check_trace(&doc),
         });
         if let Err(message) = outcome {

@@ -14,7 +14,8 @@
 //! - [`Protocol`]: ready-made configurations for CoHoRT and the paper's
 //!   baselines (MSI, MSI+FCFS, PCC, PENDULUM);
 //! - [`configure_modes`]: the offline flow of Fig. 2a — one GA run per
-//!   operational mode, producing the per-core [`ModeSwitchLut`];
+//!   operational mode (each warm-started from the previous mode's
+//!   solution), producing the per-core [`ModeSwitchLut`];
 //! - [`ModeController`]: the run-time half of §VI — when a requirement
 //!   tightens, escalate the mode (degrading lower-criticality cores to MSI
 //!   instead of suspending them) until the bound fits;
@@ -70,7 +71,9 @@ pub use batch::{
 };
 pub use controller::{ModeController, ModeDecision};
 pub use experiment::{run_experiment, run_experiment_with_metrics, ExperimentOutcome};
-pub use modes::{configure_modes, ModeConfiguration, ModeEntry, ModeSwitchLut};
+pub use modes::{
+    configure_modes, configure_modes_observed, ModeConfiguration, ModeEntry, ModeSwitchLut,
+};
 pub use protocol::{Protocol, ProtocolKind};
 pub use system::{CoreSpec, SystemSpec, SystemSpecBuilder};
 

@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use cohort_analysis::CoreBound;
-use cohort_optim::{solve, GaConfig, TimerProblem};
+use cohort_optim::{solve_observed, GaConfig, GaObserver, TimerProblem};
 use cohort_trace::Workload;
 use cohort_types::{CoreId, Cycles, Error, Mode, Result, TimerValue};
 
@@ -172,6 +172,25 @@ pub fn configure_modes(
     workload: &Workload,
     ga: &GaConfig,
 ) -> Result<ModeConfiguration> {
+    configure_modes_observed(spec, workload, ga, &SilentObserver)
+}
+
+/// [`configure_modes`] with a [`GaObserver`] progress hook.
+///
+/// The observer sees every generation of every mode's GA run (modes are
+/// configured in ascending order, so generation reports arrive grouped by
+/// mode); a [`cohort_optim::CheckpointFile`] sink here makes the whole
+/// offline flow resumable at per-generation granularity.
+///
+/// # Errors
+///
+/// Returns an error if the spec and workload disagree on the core count.
+pub fn configure_modes_observed(
+    spec: &SystemSpec,
+    workload: &Workload,
+    ga: &GaConfig,
+    observer: &dyn GaObserver,
+) -> Result<ModeConfiguration> {
     if workload.cores() != spec.cores() {
         return Err(Error::InvalidConfig(format!(
             "workload has {} cores, spec has {}",
@@ -179,15 +198,17 @@ pub fn configure_modes(
             spec.cores()
         )));
     }
-    // One GA run per mode; the runs are independent and CPU-bound, so they
-    // execute on the bounded worker pool, each with a deterministic seed.
-    let modes: Vec<Mode> = spec.modes().collect();
-    let entries: Vec<ModeEntry> =
-        crate::pool::run_indexed(&modes, crate::pool::default_workers(), |_, &mode| {
-            configure_one_mode(spec, workload, ga, mode)
-        })
-        .into_iter()
-        .collect::<Result<_>>()?;
+    // Modes are configured sequentially in ascending order so each mode can
+    // seed its GA with the previous mode's solution: cores that stay timed
+    // in mode l+1 were timed in mode l, so the projection of mode l's θ
+    // vector is a strong warm start (escalated modes refine rather than
+    // rediscover the normal mode's timers). Parallelism comes from inside
+    // the GA, which scores each offspring batch across worker threads.
+    let mut entries: Vec<ModeEntry> = Vec::new();
+    for mode in spec.modes() {
+        let entry = configure_one_mode(spec, workload, ga, mode, entries.last(), observer)?;
+        entries.push(entry);
+    }
     let rows = entries.iter().map(|e| e.timers.clone()).collect();
     Ok(ModeConfiguration { entries, lut: ModeSwitchLut::new(rows)? })
 }
@@ -197,6 +218,8 @@ fn configure_one_mode(
     workload: &Workload,
     ga: &GaConfig,
     mode: Mode,
+    previous: Option<&ModeEntry>,
+    observer: &dyn GaObserver,
 ) -> Result<ModeEntry> {
     let mask = spec.timed_mask(mode);
     let mut builder =
@@ -208,10 +231,23 @@ fn configure_one_mode(
         }
     }
     let problem = builder.build()?;
+    // Project the previous mode's solution onto the cores that stay timed
+    // in this mode; `solve_observed` clamps each gene into this mode's
+    // saturation bounds.
+    let warm_start: Vec<Vec<u64>> = previous
+        .map(|prev| {
+            problem
+                .timed_cores()
+                .iter()
+                .map(|&core| prev.timers[core].theta().unwrap_or(1))
+                .collect::<Vec<u64>>()
+        })
+        .into_iter()
+        .collect();
     // Stagger the seed per mode so modes explore independently but
     // deterministically.
     let mode_ga = GaConfig { seed: ga.seed ^ u64::from(mode.index()), ..ga.clone() };
-    let outcome = solve(&problem, &mode_ga);
+    let outcome = solve_observed(&problem, &mode_ga, &warm_start, observer);
     let assignment = problem.evaluate(&outcome.best);
     Ok(ModeEntry {
         mode,
@@ -220,6 +256,11 @@ fn configure_one_mode(
         feasible: assignment.feasible,
     })
 }
+
+/// The do-nothing observer behind [`configure_modes`].
+struct SilentObserver;
+
+impl GaObserver for SilentObserver {}
 
 #[cfg(test)]
 mod tests {
@@ -314,5 +355,43 @@ mod tests {
         let a = configure_modes(&spec, &w, &quick_ga()).unwrap();
         let b = configure_modes(&spec, &w, &quick_ga()).unwrap();
         assert_eq!(a.lut, b.lut);
+    }
+
+    #[test]
+    fn configuration_is_identical_serial_and_parallel() {
+        // The LUT burned into hardware must not depend on how many worker
+        // threads the offline host happened to have.
+        let spec = spec_4level();
+        let w = micro::line_bursts(4, 3, 20);
+        let serial = GaConfig { workers: 1, ..quick_ga() };
+        let parallel = GaConfig { workers: 6, ..quick_ga() };
+        let a = configure_modes(&spec, &w, &serial).unwrap();
+        let b = configure_modes(&spec, &w, &parallel).unwrap();
+        assert_eq!(a.lut, b.lut);
+    }
+
+    #[test]
+    fn observer_sees_every_mode_in_ascending_order() {
+        use cohort_optim::{GaObserver, GenerationReport};
+        use std::sync::Mutex;
+
+        struct CountReports(Mutex<Vec<usize>>);
+        impl GaObserver for CountReports {
+            fn generation_finished(&self, report: &GenerationReport<'_>) {
+                self.0.lock().unwrap().push(report.generation);
+            }
+        }
+
+        let spec = spec_4level();
+        let w = micro::line_bursts(4, 3, 20);
+        let ga = quick_ga();
+        let observer = CountReports(Mutex::new(Vec::new()));
+        let observed = configure_modes_observed(&spec, &w, &ga, &observer).unwrap();
+        assert_eq!(observed.lut, configure_modes(&spec, &w, &ga).unwrap().lut);
+        let generations = observer.0.into_inner().unwrap();
+        // One report per generation per mode, grouped by mode: the sequence
+        // restarts from 0 exactly once per mode.
+        assert_eq!(generations.len(), ga.generations * spec.modes().count());
+        assert_eq!(generations.iter().filter(|&&g| g == 0).count(), spec.modes().count());
     }
 }

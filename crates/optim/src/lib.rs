@@ -20,7 +20,13 @@
 //!
 //! The crate provides a reusable, deterministic [`GeneticAlgorithm`] over
 //! bounded integer chromosomes and the CoHoRT-specific [`TimerProblem`] /
-//! [`optimize_timers`] on top of it.
+//! [`optimize_timers`] on top of it. The engine breeds each generation
+//! sequentially from its seed, then scores the offspring batch across
+//! scoped worker threads — **parallel runs are bit-identical to serial
+//! runs** — with a genome-keyed fitness memo, optional early stopping
+//! (stall / target / evaluation budget), a [`GaObserver`] progress hook
+//! and JSON [`GaCheckpoint`] snapshots that [`GeneticAlgorithm::resume`]
+//! continues exactly where they left off.
 //!
 //! # Examples
 //!
@@ -45,10 +51,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod ga;
+mod observer;
 mod timer_problem;
 
-pub use ga::{GaConfig, GaOutcome, GeneticAlgorithm, SearchSpace};
+pub use checkpoint::{CheckpointFile, GaCheckpoint};
+pub use ga::{GaConfig, GaOutcome, GeneticAlgorithm, Individual, SearchSpace, StopReason};
+pub use observer::{GaObserver, GenerationReport};
 pub use timer_problem::{
-    optimize_timers, solve, TimerAssignment, TimerProblem, TimerProblemBuilder,
+    optimize_timers, solve, solve_observed, solve_seeded, TimerAssignment, TimerProblem,
+    TimerProblemBuilder,
 };

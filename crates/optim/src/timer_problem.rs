@@ -5,6 +5,7 @@ use cohort_sim::{CacheGeometry, LlcModel};
 use cohort_trace::Workload;
 use cohort_types::{Cycles, Error, LatencyConfig, Result, TimerValue};
 
+use crate::observer::GaObserver;
 use crate::{GaConfig, GaOutcome, GeneticAlgorithm, SearchSpace};
 
 /// Fixed penalty added once per violated constraint: larger than any
@@ -321,16 +322,62 @@ pub fn optimize_timers(problem: &TimerProblem<'_>, config: &GaConfig) -> Result<
 /// solution).
 #[must_use]
 pub fn solve(problem: &TimerProblem<'_>, config: &GaConfig) -> GaOutcome {
+    solve_seeded(problem, config, &[])
+}
+
+/// [`solve`] with additional seed chromosomes injected into the initial
+/// population — the Mode-Switch LUT flow seeds each mode with the previous
+/// mode's solution so escalated modes refine (rather than rediscover) the
+/// normal mode's timers.
+///
+/// The engine's corner seeds take priority; `extra_seeds` beyond the
+/// population capacity are **dropped from the back** (deliberate,
+/// documented truncation — the engine itself errors on overflow, so the
+/// drop here is an explicit policy, not an accident).
+#[must_use]
+pub fn solve_seeded(
+    problem: &TimerProblem<'_>,
+    config: &GaConfig,
+    extra_seeds: &[Vec<u64>],
+) -> GaOutcome {
+    solve_observed(problem, config, extra_seeds, &NoGaObserver)
+}
+
+/// [`solve_seeded`] with a [`GaObserver`] progress hook (per-generation
+/// best fitness, evaluation counters and checkpoint opportunities).
+#[must_use]
+pub fn solve_observed(
+    problem: &TimerProblem<'_>,
+    config: &GaConfig,
+    extra_seeds: &[Vec<u64>],
+    observer: &dyn GaObserver,
+) -> GaOutcome {
     let ga = GeneticAlgorithm::new(problem.search_space(), config.clone());
     // Seed with the extreme corners — all-minimal (tightest WCL) and
     // all-saturated (most hits) — plus a small uniform heuristic (a window
     // of a few dozen cycles covers word-granular line bursts, the dominant
-    // source of guaranteed hits).
+    // source of guaranteed hits), then any caller-provided chromosomes
+    // (clamped into the search box: a previous mode's θ may exceed this
+    // mode's saturation bound).
     let minimal = vec![1u64; problem.timed_cores().len()];
     let saturated = problem.theta_saturations().to_vec();
     let heuristic: Vec<u64> = problem.theta_saturations().iter().map(|&s| s.min(24)).collect();
-    ga.run_seeded(&[minimal, saturated, heuristic], |genes| problem.fitness(genes))
+    let mut seeds = vec![minimal, saturated, heuristic];
+    seeds.extend(extra_seeds.iter().filter(|s| s.len() == problem.timed_cores().len()).map(|s| {
+        s.iter()
+            .zip(problem.theta_saturations())
+            .map(|(&g, &sat)| g.clamp(1, sat))
+            .collect::<Vec<u64>>()
+    }));
+    seeds.truncate(config.population);
+    ga.run_observed(&seeds, observer, |genes| problem.fitness(genes))
+        .expect("corner seeds are in-space and truncated to the population")
 }
+
+/// The do-nothing observer behind [`solve`].
+struct NoGaObserver;
+
+impl GaObserver for NoGaObserver {}
 
 #[cfg(test)]
 mod tests {

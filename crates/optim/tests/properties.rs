@@ -1,12 +1,81 @@
 //! Property-based tests of the GA engine and the timer problem.
+//!
+//! The proptest blocks run under the real `proptest` crate (CI); the plain
+//! `#[test]` functions below them cover the same invariants at fixed seeds
+//! so they also execute under the offline stub harness, where `proptest!`
+//! expands to nothing.
 
 use proptest::prelude::*;
 
-use cohort_optim::GaConfig;
+use cohort_optim::{
+    GaCheckpoint, GaConfig, GaObserver, GenerationReport, GeneticAlgorithm, SearchSpace,
+    TimerProblem,
+};
+use cohort_trace::micro;
+use cohort_types::Cycles;
+use std::sync::Mutex;
 
-#[allow(dead_code)] // used only inside proptest! (the offline stub expands to nothing)
 fn small_config() -> GaConfig {
     GaConfig { population: 12, generations: 6, ..Default::default() }
+}
+
+/// Captures the checkpoint of one chosen generation.
+struct SnapshotAt {
+    generation: usize,
+    checkpoint: Mutex<Option<GaCheckpoint>>,
+}
+
+impl SnapshotAt {
+    fn new(generation: usize) -> Self {
+        SnapshotAt { generation, checkpoint: Mutex::new(None) }
+    }
+
+    fn take(self) -> Option<GaCheckpoint> {
+        self.checkpoint.into_inner().unwrap()
+    }
+}
+
+impl GaObserver for SnapshotAt {
+    fn generation_finished(&self, report: &GenerationReport<'_>) {
+        if report.generation == self.generation {
+            *self.checkpoint.lock().unwrap() = Some(report.checkpoint());
+        }
+    }
+}
+
+/// Runs the parallel/serial equivalence check for one configuration.
+fn assert_parallel_matches_serial(seed: u64, population: usize, workers: usize) {
+    let space = SearchSpace::new(vec![(0, 50_000); 4]);
+    let f = |genes: &[u64]| genes.iter().map(|&g| (g as f64 - 25_000.0).abs()).sum::<f64>();
+    let serial = GeneticAlgorithm::new(
+        space.clone(),
+        GaConfig { seed, population, workers: 1, ..small_config() },
+    )
+    .run_seeded(&[vec![42, 42, 42, 42]], f)
+    .unwrap();
+    let parallel =
+        GeneticAlgorithm::new(space, GaConfig { seed, population, workers, ..small_config() })
+            .run_seeded(&[vec![42, 42, 42, 42]], f)
+            .unwrap();
+    assert_eq!(serial, parallel, "seed {seed}, population {population}, workers {workers}");
+}
+
+/// Runs the checkpoint/resume equivalence check for one configuration.
+fn assert_resume_matches_uninterrupted(seed: u64, cut_after: usize, workers: usize) {
+    let space = SearchSpace::new(vec![(1, 9_999); 3]);
+    let f = |genes: &[u64]| genes.iter().map(|&g| (g as f64 - 777.0).powi(2)).sum::<f64>();
+    let config = GaConfig { seed, generations: 8, workers, ..small_config() };
+    let ga = GeneticAlgorithm::new(space, config);
+
+    let snap = SnapshotAt::new(cut_after);
+    let full = ga.run_observed(&[], &snap, f).unwrap();
+    let checkpoint = snap.take().expect("observed generation ran");
+
+    // Round-trip through the JSON codec, then resume: outcome, history and
+    // the evaluation counters must all match the uninterrupted run.
+    let restored = GaCheckpoint::from_json(&checkpoint.to_json()).unwrap();
+    let resumed = ga.resume(&restored, f).unwrap();
+    assert_eq!(resumed, full, "seed {seed}, cut after generation {cut_after}");
 }
 
 proptest! {
@@ -55,6 +124,29 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// Parallel evaluation is bit-identical to serial for any seed and any
+    /// population / worker-count combination — including the evaluation and
+    /// cache-hit counters.
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial(
+        seed in any::<u64>(),
+        population in 4usize..24,
+        workers in 2usize..9,
+    ) {
+        assert_parallel_matches_serial(seed, population, workers);
+    }
+
+    /// A checkpoint taken after any generation, round-tripped through its
+    /// JSON codec and resumed, reproduces the uninterrupted run exactly.
+    #[test]
+    fn checkpoint_resume_reproduces_the_uninterrupted_run(
+        seed in any::<u64>(),
+        cut_after in 0usize..7,
+        workers in 1usize..5,
+    ) {
+        assert_resume_matches_uninterrupted(seed, cut_after, workers);
+    }
+
     /// A feasible seed never makes the outcome infeasible: fitness of the
     /// GA's best is ≤ the seed's fitness (elitism preserves it).
     #[test]
@@ -73,7 +165,7 @@ proptest! {
         let seed_fitness = problem.fitness(&clamped);
         let space = problem.search_space();
         let ga = GeneticAlgorithm::new(space, small_config());
-        let outcome = ga.run_seeded(&[clamped], |g| problem.fitness(g));
+        let outcome = ga.run_seeded(&[clamped], |g| problem.fitness(g)).unwrap();
         prop_assert!(outcome.best_fitness <= seed_fitness + 1e-9);
     }
 
@@ -90,4 +182,47 @@ proptest! {
             .collect();
         prop_assert_eq!(problem.fitness(&clamped), problem.fitness(&clamped));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-seed variants: the same invariants, runnable under the offline stub
+// harness (where `proptest!` swallows its body).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn parallel_matches_serial_across_fixed_combinations() {
+    for (seed, population, workers) in
+        [(0u64, 12usize, 2usize), (1, 7, 3), (0xDEAD_BEEF, 16, 8), (42, 5, 4)]
+    {
+        assert_parallel_matches_serial(seed, population, workers);
+    }
+}
+
+#[test]
+fn resume_matches_uninterrupted_across_fixed_cuts() {
+    for (seed, cut_after, workers) in [(0u64, 0usize, 1usize), (7, 3, 2), (99, 6, 4)] {
+        assert_resume_matches_uninterrupted(seed, cut_after, workers);
+    }
+}
+
+#[test]
+fn timer_solve_is_identical_serial_and_parallel() {
+    // The real fitness (cache analysis + Eq. 1) through `solve`, serial vs
+    // parallel: the shipped Mode-Switch LUT must not depend on the host's
+    // core count.
+    let workload = micro::line_bursts(2, 4, 60);
+    let problem = TimerProblem::builder(&workload)
+        .timed(0, Some(Cycles::new(1_000_000)))
+        .timed(1, None)
+        .build()
+        .unwrap();
+    let serial = cohort_optim::solve(
+        &problem,
+        &GaConfig { population: 12, generations: 8, workers: 1, ..Default::default() },
+    );
+    let parallel = cohort_optim::solve(
+        &problem,
+        &GaConfig { population: 12, generations: 8, workers: 6, ..Default::default() },
+    );
+    assert_eq!(serial, parallel);
 }
