@@ -76,6 +76,15 @@ impl CacheStats {
 /// cold key may both compute it — the function is deterministic, so the
 /// duplicate insert is harmless and cheaper than holding a lock across the
 /// trace walk.
+///
+/// The cache is **panic-tolerant**: batch-sweep jobs share it across
+/// worker threads and a job that panics (isolated into a `JobError` by the
+/// sweep engine) must not take the memo down for later clean runs. Every
+/// lock acquisition therefore recovers from poisoning instead of
+/// propagating it — sound because values are only ever inserted complete
+/// (the analysis runs *outside* the lock and the `Copy` value is written
+/// in a single `insert`), so a poisoned guard still protects a consistent
+/// map and never exposes a partial result.
 #[derive(Debug, Default)]
 pub struct AnalysisCache {
     hits: RwLock<HashMap<HitKey, HitMissCounts>>,
@@ -132,12 +141,14 @@ impl AnalysisCache {
         let key =
             HitKey { trace: fingerprint, timer, geometry: *geometry, hit_latency, miss_penalty };
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        if let Some(&counts) = self.hits.read().expect("not poisoned").get(&key) {
+        if let Some(&counts) =
+            self.hits.read().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key)
+        {
             self.served.fetch_add(1, Ordering::Relaxed);
             return counts;
         }
         let counts = guaranteed_hits(trace, timer, geometry, hit_latency, miss_penalty);
-        self.hits.write().expect("not poisoned").insert(key, counts);
+        self.hits.write().unwrap_or_else(std::sync::PoisonError::into_inner).insert(key, counts);
         counts
     }
 
@@ -169,7 +180,9 @@ impl AnalysisCache {
     ) -> u64 {
         let key = SatKey { trace: fingerprint, geometry: *geometry, hit_latency, miss_penalty };
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        if let Some(&sat) = self.saturation.read().expect("not poisoned").get(&key) {
+        if let Some(&sat) =
+            self.saturation.read().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key)
+        {
             self.served.fetch_add(1, Ordering::Relaxed);
             return sat;
         }
@@ -184,7 +197,7 @@ impl AnalysisCache {
             )
             .hits
         });
-        self.saturation.write().expect("not poisoned").insert(key, sat);
+        self.saturation.write().unwrap_or_else(std::sync::PoisonError::into_inner).insert(key, sat);
         sat
     }
 
@@ -200,8 +213,8 @@ impl AnalysisCache {
     /// Number of memoized entries across both maps.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.hits.read().expect("not poisoned").len()
-            + self.saturation.read().expect("not poisoned").len()
+        self.hits.read().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+            + self.saturation.read().unwrap_or_else(std::sync::PoisonError::into_inner).len()
     }
 
     /// Whether the cache holds no entries.
@@ -212,8 +225,8 @@ impl AnalysisCache {
 
     /// Drops every memoized entry and resets the counters.
     pub fn clear(&self) {
-        self.hits.write().expect("not poisoned").clear();
-        self.saturation.write().expect("not poisoned").clear();
+        self.hits.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+        self.saturation.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
         self.lookups.store(0, Ordering::Relaxed);
         self.served.store(0, Ordering::Relaxed);
     }
@@ -290,6 +303,48 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn poisoned_locks_recover_without_caching_partial_results() {
+        // A sweep job that panics while touching the memo (isolated into a
+        // `JobError` upstream) poisons the RwLocks; later clean runs must
+        // still be served exact results — the regression this guards
+        // against is the old `.expect("not poisoned")` panic cascade.
+        let trace = kernel_trace();
+        let cache = AnalysisCache::new();
+        let t = TimerValue::timed(24).unwrap();
+        let expected = guaranteed_hits(&trace, t, &L1, HIT, PENALTY);
+        assert_eq!(cache.guaranteed_hits(&trace, t, &L1, HIT, PENALTY), expected);
+
+        for _ in 0..2 {
+            let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _hits = cache.hits.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let _sat =
+                    cache.saturation.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+                panic!("job died mid-flight");
+            }));
+            assert!(unwound.is_err());
+        }
+        assert!(cache.hits.is_poisoned());
+        assert!(cache.saturation.is_poisoned());
+
+        // The memoized entry survives, new entries can still be published,
+        // and nothing partial ever appears (the panicking "job" inserted
+        // nothing).
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.guaranteed_hits(&trace, t, &L1, HIT, PENALTY), expected);
+        let t2 = TimerValue::timed(300).unwrap();
+        assert_eq!(
+            cache.guaranteed_hits(&trace, t2, &L1, HIT, PENALTY),
+            guaranteed_hits(&trace, t2, &L1, HIT, PENALTY)
+        );
+        assert_eq!(
+            cache.theta_saturation(&trace, &L1, HIT, PENALTY),
+            theta_saturation(&trace, &L1, HIT, PENALTY)
+        );
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]

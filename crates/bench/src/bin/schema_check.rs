@@ -1,11 +1,12 @@
 //! Validates the machine-readable artifacts of the figure bins: a `--json`
-//! report, a `--trace` Chrome-trace file, and/or an `--optim` GA-engine
-//! benchmark report. Exits non-zero on the first schema violation — CI
-//! runs this after a smoke regeneration.
+//! report, a `--trace` Chrome-trace file, an `--optim` GA-engine benchmark
+//! report, and/or a `--chaos` fault-campaign report. Exits non-zero on the
+//! first schema violation — CI runs this after a smoke regeneration.
 //!
 //! ```text
 //! cargo run --release -p cohort-bench --bin schema_check -- \
-//!     [--report <report.json>] [--trace <trace.json>] [--optim <optim.json>]
+//!     [--report <report.json>] [--trace <trace.json>] \
+//!     [--optim <optim.json>] [--chaos <chaos.json>]
 //! ```
 
 use std::path::Path;
@@ -182,6 +183,131 @@ fn check_optim(doc: &serde_json::Value) -> CheckResult {
     Ok(())
 }
 
+/// Checks one embedded `DegradationReport` of a chaos campaign.
+fn check_degradation_report(report: &serde_json::Value, what: &str) -> CheckResult {
+    for key in [
+        "planned_faults",
+        "requests",
+        "cycles",
+        "violations_total",
+        "latency_violations",
+        "progress_violations",
+        "coherence_violations",
+        "final_mode",
+    ] {
+        expect_u64(report, key, what)?;
+    }
+    // Nullable but always present (stable schema).
+    for key in ["seed", "detection_latency", "post_switch"] {
+        get(report, key, what)?;
+    }
+    let faults = get(report, "faults", what)?
+        .as_array()
+        .ok_or_else(|| format!("{what}: `faults` is not an array"))?;
+    for (i, fault) in faults.iter().enumerate() {
+        let fault_what = format!("{what}.faults[{i}]");
+        expect_str(fault, "kind", &fault_what)?;
+        for key in ["core", "scheduled", "fired"] {
+            expect_u64(fault, key, &fault_what)?;
+        }
+    }
+    let violations = get(report, "violations", what)?
+        .as_array()
+        .ok_or_else(|| format!("{what}: `violations` is not an array"))?;
+    for (i, violation) in violations.iter().enumerate() {
+        let v_what = format!("{what}.violations[{i}]");
+        expect_str(violation, "kind", &v_what)?;
+        for key in ["at", "issued", "latency", "bound"] {
+            expect_u64(violation, key, &v_what)?;
+        }
+        for key in ["core", "line", "detail"] {
+            get(violation, key, &v_what)?;
+        }
+    }
+    let switches = get(report, "switches", what)?
+        .as_array()
+        .ok_or_else(|| format!("{what}: `switches` is not an array"))?;
+    for (i, switch) in switches.iter().enumerate() {
+        let s_what = format!("{what}.switches[{i}]");
+        for key in ["at", "from", "to"] {
+            expect_u64(switch, key, &s_what)?;
+        }
+        get(switch, "trigger", &s_what)?;
+    }
+    // Cross-checks: the aggregate counters must be internally consistent.
+    let count =
+        |key: &str| get(report, key, what).ok().and_then(serde_json::Value::as_u64).unwrap_or(0);
+    let total = count("violations_total");
+    let sum =
+        count("latency_violations") + count("progress_violations") + count("coherence_violations");
+    if total != sum {
+        return Err(format!("{what}: violations_total {total} ≠ per-kind sum {sum}"));
+    }
+    let planned = count("planned_faults");
+    if faults.len() as u64 > planned {
+        return Err(format!("{what}: {} fired faults exceed {planned} planned", faults.len()));
+    }
+    if let Some(post) = get(report, "post_switch", what)?.as_object() {
+        let post_what = format!("{what}.post_switch");
+        let post = serde_json::Value::Object(post.clone());
+        for key in ["switch_at", "requests", "violations"] {
+            expect_u64(&post, key, &post_what)?;
+        }
+        if get(&post, "compliant", &post_what)?.as_bool().is_none() {
+            return Err(format!("{post_what}: `compliant` is not a boolean"));
+        }
+        if switches.is_empty() {
+            return Err(format!("{what}: post_switch present but no switch was recorded"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks a `chaos` campaign document (`--chaos`).
+fn check_chaos(doc: &serde_json::Value) -> CheckResult {
+    if get(doc, "generator", "chaos")?.as_str() != Some("chaos") {
+        return Err("chaos: `generator` is not \"chaos\"".into());
+    }
+    if get(doc, "quick", "chaos")?.as_bool().is_none() {
+        return Err("chaos: `quick` is not a boolean".into());
+    }
+    let campaigns = get(doc, "campaigns", "chaos")?
+        .as_array()
+        .ok_or_else(|| "chaos: `campaigns` is not an array".to_string())?;
+    if campaigns.is_empty() {
+        return Err("chaos: empty `campaigns` array".into());
+    }
+    let mut switched = 0u64;
+    for (i, campaign) in campaigns.iter().enumerate() {
+        let what = format!("chaos.campaigns[{i}]");
+        expect_str(campaign, "name", &what)?;
+        expect_u64(campaign, "cores", &what)?;
+        if get(campaign, "deterministic", &what)?.as_bool() != Some(true) {
+            return Err(format!("{what}: `deterministic` must be true"));
+        }
+        let report = get(campaign, "report", &what)?;
+        check_degradation_report(report, &format!("{what}.report"))?;
+        if !get(report, "switches", &what)?.as_array().is_none_or(Vec::is_empty) {
+            switched += 1;
+        }
+        // The verif-loop closure: when a conviction was exported, the
+        // faithful engine must have replayed it clean.
+        let replay = get(campaign, "replay", &what)?;
+        if !matches!(replay, serde_json::Value::Null)
+            && get(replay, "engine_clean", &what)?.as_bool() != Some(true)
+        {
+            return Err(format!("{what}: replayed conviction was not clean"));
+        }
+    }
+    // The smoke gate: at least one campaign must demonstrate an online
+    // escalation (the acceptance criterion of the fault-injection PR).
+    if switched == 0 {
+        return Err("chaos: no campaign recorded a mode switch".into());
+    }
+    println!("chaos ok: {} campaigns, {switched} with online escalation", campaigns.len());
+    Ok(())
+}
+
 /// Checks a Chrome-trace (`traceEvents`) document.
 fn check_trace(doc: &serde_json::Value) -> CheckResult {
     let events = get(doc, "traceEvents", "trace")?
@@ -248,10 +374,11 @@ fn main() -> ExitCode {
             "--report" => ("report", args.next().expect("--report needs a path")),
             "--trace" => ("trace", args.next().expect("--trace needs a path")),
             "--optim" => ("optim", args.next().expect("--optim needs a path")),
+            "--chaos" => ("chaos", args.next().expect("--chaos needs a path")),
             other => {
                 eprintln!(
                     "unknown flag `{other}` (use --report <path>, --trace <path>, \
-                     --optim <path>)"
+                     --optim <path>, --chaos <path>)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -260,6 +387,7 @@ fn main() -> ExitCode {
         let outcome = load(&path).and_then(|doc| match kind {
             "report" => check_report(&doc),
             "optim" => check_optim(&doc),
+            "chaos" => check_chaos(&doc),
             _ => check_trace(&doc),
         });
         if let Err(message) = outcome {

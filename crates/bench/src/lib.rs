@@ -399,6 +399,22 @@ pub fn json_report(generator: &str, runs: Vec<serde_json::Value>) -> serde_json:
     })
 }
 
+/// Wraps chaos campaign records into the chaos report envelope
+/// (`{"generator": ..., "quick": ..., "campaigns": [...]}`) consumed by
+/// `schema_check --chaos`.
+#[must_use]
+pub fn json_report_envelope(
+    generator: &str,
+    quick: bool,
+    campaigns: Vec<serde_json::Value>,
+) -> serde_json::Value {
+    json!({
+        "generator": generator,
+        "quick": quick,
+        "campaigns": campaigns,
+    })
+}
+
 /// Writes a machine-readable report to `path` (pretty-printed JSON),
 /// creating parent directories as needed.
 ///

@@ -449,6 +449,49 @@ mod tests {
     }
 
     #[test]
+    fn a_panicking_job_does_not_poison_the_analysis_memo() {
+        // Jobs share the process-wide analysis memo; a job that panics
+        // after touching it must not corrupt or disable it for the clean
+        // siblings and for later sweeps (satellite of the fault-injection
+        // PR: `JobError` outcomes never leave partial state behind).
+        use cohort_analysis::{analysis_cache, guaranteed_hits};
+        use cohort_sim::CacheGeometry;
+        use cohort_types::Cycles;
+
+        let trace = micro::ping_pong(2, 16).traces()[0].clone();
+        let l1 = CacheGeometry::paper_l1();
+        let (hit, penalty) = (Cycles::new(1), Cycles::new(216));
+        let expected = guaranteed_hits(&trace, TimerValue::timed(64).unwrap(), &l1, hit, penalty);
+
+        let sweep = Sweep::builder().jobs(tiny_jobs(6)).workers(3).build();
+        let report = sweep.run_with(&SilentObserver, |job| {
+            let memoized = analysis_cache().guaranteed_hits(
+                &trace,
+                TimerValue::timed(64).unwrap(),
+                &l1,
+                hit,
+                penalty,
+            );
+            assert_eq!(memoized, expected, "the shared memo must stay exact");
+            assert!(job.label != "job-1", "fault injected into job-1");
+            Ok(dummy_outcome(job))
+        });
+        assert_eq!(report.ok_count(), 5);
+        assert!(matches!(report.results[1].outcome, Err(JobError::Panicked(_))));
+
+        // Later clean runs still go through the memo and match the cold
+        // analysis bit-for-bit.
+        let after = analysis_cache().guaranteed_hits(
+            &trace,
+            TimerValue::timed(64).unwrap(),
+            &l1,
+            hit,
+            penalty,
+        );
+        assert_eq!(after, expected);
+    }
+
+    #[test]
     fn failed_jobs_carry_their_error() {
         // A CoHoRT job with the wrong timer-vector length fails cleanly.
         let s = spec(2);

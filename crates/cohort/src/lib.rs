@@ -57,6 +57,7 @@
 
 mod batch;
 mod controller;
+mod degrade;
 mod experiment;
 pub mod hardware;
 mod modes;
@@ -70,6 +71,9 @@ pub use batch::{
     SweepReport,
 };
 pub use controller::{ModeController, ModeDecision};
+pub use degrade::{
+    run_with_watchdog, DegradationReport, PostSwitchCompliance, SwitchRecord, WatchdogPolicy,
+};
 pub use experiment::{run_experiment, run_experiment_with_metrics, ExperimentOutcome};
 pub use modes::{
     configure_modes, configure_modes_observed, ModeConfiguration, ModeEntry, ModeSwitchLut,

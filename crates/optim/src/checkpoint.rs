@@ -100,6 +100,39 @@ fn individuals_from_json(v: &Value, key: &str) -> Result<Vec<Individual>> {
         .collect()
 }
 
+/// Finds the byte offset where `text` stops being well-formed JSON: the
+/// offending byte for structural garbage (a close bracket that matches
+/// nothing), or the end of the document for truncations (an unterminated
+/// string or unbalanced brackets — the torn-write signature). The scan is
+/// independent of the parser so the diagnosis works with any `serde_json`
+/// error type, including string-only offline stubs.
+fn malformed_json_offset(text: &str) -> usize {
+    let bytes = text.as_bytes();
+    let mut stack: Vec<u8> = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' | b'[' => stack.push(b),
+            b'}' if stack.pop() != Some(b'{') => return i,
+            b']' if stack.pop() != Some(b'[') => return i,
+            _ => {}
+        }
+    }
+    bytes.len()
+}
+
 fn u64_field(v: &Value, key: &str) -> Result<u64> {
     v.get(key)
         .and_then(Value::as_u64)
@@ -142,10 +175,16 @@ impl GaCheckpoint {
             .enumerate()
             .map(|(i, v)| fitness_from_json(v, &format!("checkpoint.history[{i}]")))
             .collect::<Result<Vec<f64>>>()?;
+        let population = individuals_from_json(doc, "population")?;
+        if population.is_empty() {
+            return Err(Error::Codec(format!(
+                "{FORMAT}: `population` is empty — there is nothing to resume from"
+            )));
+        }
         Ok(GaCheckpoint {
             seed: u64_field(doc, "seed")?,
             generations_done: u64_field(doc, "generations_done")? as usize,
-            population: individuals_from_json(doc, "population")?,
+            population,
             history,
             evaluations: u64_field(doc, "evaluations")?,
             cache_hits: u64_field(doc, "cache_hits")?,
@@ -168,9 +207,19 @@ impl GaCheckpoint {
     /// # Errors
     ///
     /// Returns [`Error::Codec`] on malformed JSON or schema violations.
+    /// Malformed documents — including torn writes that truncated the file
+    /// mid-token — are diagnosed with the format name and the byte offset
+    /// where the document stops being well-formed, so a broken resume
+    /// points at the damage instead of panicking somewhere downstream.
     pub fn from_json(text: &str) -> Result<Self> {
-        let doc: Value = serde_json::from_str(text)
-            .map_err(|e| Error::Codec(format!("checkpoint is not valid JSON: {e}")))?;
+        let doc: Value = serde_json::from_str(text).map_err(|e| {
+            let offset = malformed_json_offset(text);
+            let kind = if offset >= text.len() { "truncated" } else { "corrupt" };
+            Error::Codec(format!(
+                "{FORMAT}: {kind} checkpoint JSON at byte {offset} of {}: {e}",
+                text.len()
+            ))
+        })?;
         Self::from_json_value(&doc)
     }
 
@@ -298,6 +347,57 @@ mod tests {
         // Valid marker but a broken field.
         let broken = sample_checkpoint().to_json().replace("\"seed\"", "\"dees\"");
         assert!(GaCheckpoint::from_json(&broken).is_err());
+    }
+
+    #[test]
+    fn torn_writes_are_rejected_with_format_and_offset() {
+        // A power cut mid-write leaves a prefix of the document. Every
+        // truncation point must produce a descriptive Codec error naming
+        // the format and the byte offset — never a panic.
+        let full = sample_checkpoint().to_json();
+        for cut in [1, 2, full.len() / 4, full.len() / 2, full.len() - 2] {
+            let torn = &full[..cut];
+            let err = GaCheckpoint::from_json(torn).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(FORMAT), "error names the format: {msg}");
+            assert!(msg.contains("byte"), "error names the byte offset: {msg}");
+            assert!(msg.contains("truncated"), "a torn prefix is a truncation: {msg}");
+        }
+        // Structural corruption (a bracket flip) points at the offending
+        // byte rather than the end of the document.
+        let corrupt = full.replace("\"history\": [", "\"history\": ]");
+        let err = GaCheckpoint::from_json(&corrupt).unwrap_err().to_string();
+        assert!(err.contains(FORMAT) && err.contains("corrupt"), "{err}");
+        // The diagnosis scanner is escape-aware: quotes inside strings do
+        // not confuse the truncation offset.
+        assert_eq!(malformed_json_offset("{\"a\": \"x\\\"y"), 11);
+        assert_eq!(malformed_json_offset("[1, 2}"), 5);
+    }
+
+    #[test]
+    fn empty_population_checkpoints_cannot_resume() {
+        let empty = sample_checkpoint().to_json().replace("\"population\"", "\"xpopulation\"");
+        assert!(GaCheckpoint::from_json(&empty).is_err(), "missing population is rejected");
+        let mut cp = sample_checkpoint();
+        let doc = cp.to_json();
+        let hollowed = {
+            // Rewrite the document with an empty population array.
+            let v: Value = serde_json::from_str(&doc).unwrap();
+            let mut m = v.as_object().unwrap().clone();
+            m.insert("population".into(), Value::Array(Vec::new()));
+            serde_json::to_string_pretty(&Value::Object(m)).unwrap()
+        };
+        let err = GaCheckpoint::from_json(&hollowed).unwrap_err().to_string();
+        assert!(err.contains("empty"), "{err}");
+        // A hand-built empty checkpoint is refused by resume itself, with
+        // the dedicated diagnosis rather than a size-mismatch message.
+        cp.population.clear();
+        let ga = GeneticAlgorithm::new(
+            SearchSpace::new(vec![(0, 500); 2]),
+            GaConfig { population: 8, generations: 4, seed: 7, ..Default::default() },
+        );
+        let err = ga.resume(&cp, |g| g.iter().sum::<u64>() as f64).unwrap_err();
+        assert!(err.to_string().contains("empty population"), "{err}");
     }
 
     #[test]

@@ -437,6 +437,11 @@ impl GeneticAlgorithm {
                 checkpoint.seed, self.config.seed
             )));
         }
+        if checkpoint.population.is_empty() {
+            return Err(Error::InvalidConfig(
+                "checkpoint has an empty population — nothing to resume from".into(),
+            ));
+        }
         if checkpoint.population.len() != self.config.population {
             return Err(Error::InvalidConfig(format!(
                 "checkpoint population {} does not match the configured population {}",

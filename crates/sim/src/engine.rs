@@ -31,6 +31,7 @@ use crate::cache::{L1Line, LineState, SetAssocCache};
 use crate::coherence::{CoherenceMap, Owner, ReqKind, Waiter};
 use crate::core_model::{CoreModel, MshrEntry};
 use crate::event::{EventKind, InvalidateCause};
+use crate::fault::{FaultKind, FaultPlan, FaultState, InjectedFault};
 use crate::probe::{BusTenure, NoProbe, SimProbe, TenureKind};
 use crate::timer::release_time;
 use crate::{CoreStats, DataPath, LlcModel, ProtocolFlavor, SimConfig, SimStats};
@@ -120,6 +121,7 @@ pub struct Simulator<P: SimProbe = NoProbe> {
     switches: BTreeMap<u64, Vec<TimerValue>>,
     lines_with_waiters: HashSet<LineAddr>,
     last_progress: Cycles,
+    faults: FaultState,
 }
 
 /// Cycles without observable progress after which [`Simulator::run`]
@@ -137,6 +139,17 @@ impl Simulator {
     pub fn new(config: SimConfig, workload: &Workload) -> Result<Self> {
         Simulator::with_probe(config, workload, NoProbe)
     }
+
+    /// Creates an uninstrumented simulator that injects `plan`'s faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the workload's core count does
+    /// not match the configuration or the plan targets an out-of-range
+    /// core.
+    pub fn with_faults(config: SimConfig, workload: &Workload, plan: FaultPlan) -> Result<Self> {
+        Simulator::with_probe_and_faults(config, workload, NoProbe, plan)
+    }
 }
 
 impl<P: SimProbe> Simulator<P> {
@@ -150,7 +163,33 @@ impl<P: SimProbe> Simulator<P> {
     ///
     /// Returns [`Error::InvalidConfig`] if the workload's core count does
     /// not match the configuration.
-    pub fn with_probe(config: SimConfig, workload: &Workload, mut probe: P) -> Result<Self> {
+    pub fn with_probe(config: SimConfig, workload: &Workload, probe: P) -> Result<Self> {
+        Simulator::with_probe_and_faults(config, workload, probe, FaultPlan::empty())
+    }
+
+    /// Creates an instrumented simulator that injects `plan`'s faults.
+    ///
+    /// An empty plan is the bit-identity baseline: the simulator behaves
+    /// exactly as if built with [`Simulator::with_probe`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the workload's core count does
+    /// not match the configuration or the plan targets an out-of-range
+    /// core.
+    pub fn with_probe_and_faults(
+        config: SimConfig,
+        workload: &Workload,
+        mut probe: P,
+        plan: FaultPlan,
+    ) -> Result<Self> {
+        if let Some(bad) = plan.specs().iter().find(|s| s.core >= config.cores()) {
+            return Err(Error::InvalidConfig(format!(
+                "fault plan targets core {} but the configuration has {} cores",
+                bad.core,
+                config.cores()
+            )));
+        }
         if workload.cores() != config.cores() {
             return Err(Error::InvalidConfig(format!(
                 "workload has {} cores but the configuration expects {}",
@@ -193,8 +232,21 @@ impl<P: SimProbe> Simulator<P> {
             lines_with_waiters: HashSet::new(),
             last_progress: Cycles::ZERO,
             now: Cycles::ZERO,
+            faults: FaultState::new(plan),
             config,
         })
+    }
+
+    /// The fault plan the simulator was built with (empty by default).
+    #[must_use]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.faults.plan()
+    }
+
+    /// The faults the engine has applied so far, in injection order.
+    #[must_use]
+    pub fn injected_faults(&self) -> &[InjectedFault] {
+        self.faults.injected()
     }
 
     /// The current cycle.
@@ -353,9 +405,107 @@ impl<P: SimProbe> Simulator<P> {
     /// One scheduling round at the current cycle.
     fn step(&mut self) {
         self.apply_switches();
+        if !self.faults.is_empty() {
+            self.apply_faults();
+        }
         self.complete_txn_if_due();
         self.step_cores();
         self.try_start_txn();
+    }
+
+    // ----- fault injection -------------------------------------------------
+
+    /// Applies every armed step fault (timer, cache and core faults; bus
+    /// faults fire at grant time in [`Simulator::try_start_txn`]). Faults
+    /// that find no applicable target this step stay armed and retry.
+    fn apply_faults(&mut self) {
+        for (index, spec) in self.faults.due_step_faults(self.now) {
+            let fired = match spec.kind {
+                // Window faults act purely through `holder_release`; firing
+                // here just records the window opening for the report.
+                FaultKind::TimerStuck { .. } | FaultKind::TimerEarlyExpiry { .. } => true,
+                FaultKind::TimerCorruption { value } => {
+                    // A silent register bit-flip: no TimerSwitch event, so
+                    // probes have no way to see the new θ coming.
+                    self.timers[spec.core] = value;
+                    true
+                }
+                FaultKind::CoreStall { cycles } => {
+                    let core = &mut self.cores[spec.core];
+                    core.ready_at = core.ready_at.max(self.now + Cycles::new(cycles));
+                    true
+                }
+                FaultKind::LineCorruption => self.corrupt_line(spec.core),
+                FaultKind::SpuriousEviction => self.spurious_evict(spec.core),
+                FaultKind::BusDrop | FaultKind::BusDuplicate | FaultKind::BusDelay { .. } => {
+                    unreachable!("bus faults are not step faults")
+                }
+            };
+            if fired {
+                self.faults.mark_fired(index, self.now);
+            }
+        }
+    }
+
+    /// Flips the first quiescent Shared line in `core`'s L1 to Modified
+    /// without a bus transaction. The corrupted controller believes it
+    /// observed a write-granting fill, and the event stream records that
+    /// belief — which is exactly what lets an event-shadowing probe convict
+    /// the state of an SWMR violation.
+    fn corrupt_line(&mut self, core: usize) -> bool {
+        let active = self.txn.map(|t| t.line);
+        let mut target = None;
+        for (line, payload) in self.l1s[core].iter() {
+            if payload.state == LineState::Shared
+                && Some(line) != active
+                && !self.cores[core].has_inflight(line)
+            {
+                target = Some(line);
+                break;
+            }
+        }
+        let Some(line) = target else { return false };
+        if let Some(l1line) = self.l1s[core].peek_mut(line) {
+            l1line.state = LineState::Modified;
+        }
+        if P::ACTIVE {
+            self.probe.on_event(
+                self.now,
+                &EventKind::Fill { core, line, kind: ReqKind::GetM, latency: Cycles::ZERO },
+            );
+        }
+        true
+    }
+
+    /// Silently drops a quiescent resident line (preferring an owned one)
+    /// from `core`'s L1. The global bookkeeping is updated — the directory
+    /// saw the writeback wire — but no event is emitted, so event-shadowing
+    /// probes keep believing the copy exists.
+    fn spurious_evict(&mut self, core: usize) -> bool {
+        let active = self.txn.map(|t| t.line);
+        let mut chosen = None;
+        for (line, payload) in self.l1s[core].iter() {
+            if Some(line) == active || self.cores[core].has_inflight(line) {
+                continue;
+            }
+            if payload.state.is_owned() {
+                chosen = Some((line, *payload));
+                break;
+            }
+            if chosen.is_none() {
+                chosen = Some((line, *payload));
+            }
+        }
+        let Some((line, payload)) = chosen else { return false };
+        self.l1s[core].remove(line);
+        let entry = self.coh.entry(line);
+        if payload.state.is_owned() && entry.owner() == Owner::Core(core) {
+            entry.set_owner(Owner::Llc);
+        } else {
+            entry.remove_sharer(core);
+        }
+        self.coh.gc(line);
+        true
     }
 
     fn apply_switches(&mut self) {
@@ -575,7 +725,16 @@ impl<P: SimProbe> Simulator<P> {
             return Cycles::ZERO;
         }
         let timer = self.effective_timer(holder, line, l1line);
-        release_time(l1line.anchor, timer, pending.max(l1line.anchor))
+        let effective_pending = pending.max(l1line.anchor);
+        let normal = release_time(l1line.anchor, timer, effective_pending);
+        if self.faults.is_empty() {
+            normal
+        } else {
+            // Timer-window faults (stuck / early expiry) perturb the expiry
+            // boundary here and only here, so every consumer of the release
+            // instant stays self-consistent under injection.
+            self.faults.adjust_release(holder, normal, effective_pending)
+        }
     }
 
     /// Whether every holder the head waiter dispossesses has released the
@@ -634,9 +793,38 @@ impl<P: SimProbe> Simulator<P> {
                 .collect();
             self.probe.on_arbitration(self.now, granted, &stalled);
         }
-        match cand.kind {
-            CandidateKind::Broadcast => self.start_broadcast(granted),
-            CandidateKind::Receive => self.start_receive(granted, cand.line),
+        let dropped = !self.faults.is_empty()
+            && cand.kind == CandidateKind::Broadcast
+            && self.faults.take_bus_drop(self.now, granted);
+        if dropped {
+            // The granted broadcast is lost on the wire: the slot is burned
+            // for the request latency, nothing snoops it, and the MSHR entry
+            // stays un-broadcast so the requester retries at a later grant.
+            let request_latency = self.config.latency().request;
+            self.stats.bus_busy += request_latency;
+            self.txn = Some(ActiveTxn {
+                core: granted,
+                line: cand.line,
+                ends: self.now + request_latency,
+                kind: TxnKind::BroadcastOnly,
+            });
+        } else {
+            match cand.kind {
+                CandidateKind::Broadcast => self.start_broadcast(granted),
+                CandidateKind::Receive => self.start_receive(granted, cand.line),
+            }
+        }
+        if !self.faults.is_empty() && self.txn.is_some() {
+            // A jammed or echoing bus holds the tenure longer than the
+            // protocol needs.
+            let extra =
+                self.faults.take_bus_extra(self.now, granted, self.config.latency().request);
+            if extra > Cycles::ZERO {
+                if let Some(txn) = &mut self.txn {
+                    txn.ends += extra;
+                }
+                self.stats.bus_busy += extra;
+            }
         }
         self.last_progress = self.now;
     }
@@ -928,11 +1116,17 @@ impl<P: SimProbe> Simulator<P> {
                 },
             );
         }
+        let corrupting = self.faults.may_corrupt_state();
         let entry = self.coh.entry(victim);
-        if victim_line.state.is_owned() {
-            debug_assert_eq!(entry.owner(), Owner::Core(id), "owned line without ownership");
+        if victim_line.state.is_owned() && entry.owner() == Owner::Core(id) {
             entry.set_owner(Owner::Llc);
         } else {
+            // Only an injected corruption fault may detach the physical L1
+            // state from the coherence bookkeeping.
+            debug_assert!(
+                corrupting || !victim_line.state.is_owned(),
+                "owned line without ownership"
+            );
             entry.remove_sharer(id);
         }
         self.coh.gc(victim);
@@ -953,6 +1147,13 @@ impl<P: SimProbe> Simulator<P> {
         }
         if let Some((&at, _)) = self.switches.first_key_value() {
             next = next.min(Cycles::new(at));
+        }
+        // Pending fault activations are event instants too, so injections
+        // never depend on how the caller slices `run_until`.
+        if let Some(at) = self.faults.next_activation() {
+            if at > self.now {
+                next = next.min(at);
+            }
         }
         if self.txn.is_none() {
             // Timer releases that will unblock a head waiter.

@@ -56,12 +56,14 @@ mod config;
 mod core_model;
 mod engine;
 mod event;
+mod fault;
 mod invariant;
 mod metrics;
 mod probe;
 mod stats;
 mod timeline;
 mod timer;
+mod watchdog;
 
 pub use arbiter::{Arbiter, Candidate, CandidateKind};
 pub use cache::{L1Line, LineState, SetAssocCache};
@@ -72,9 +74,11 @@ pub use config::{
 };
 pub use engine::Simulator;
 pub use event::{Event, EventKind, EventLogProbe, InvalidateCause};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, InjectedFault};
 pub use invariant::{InvariantKind, InvariantProbe, InvariantViolation};
 pub use metrics::{CoreMetrics, LatencyHistogram, MetricsProbe, MetricsReport};
 pub use probe::{BusTenure, NoProbe, SimProbe, TenureKind};
 pub use stats::{CoreStats, SimStats};
 pub use timeline::{render_timeline, TimelineOptions};
 pub use timer::{release_time, CountdownCounter};
+pub use watchdog::{WcmlGuard, WcmlViolation, WcmlViolationKind};

@@ -383,7 +383,7 @@ impl MetricsProbe {
     /// depends on nothing below it and the simulator must not depend *up*
     /// on it, so the formula is restated here; a cross-crate test in the
     /// repro package keeps the two in lock-step.
-    fn eq1_bound(core: usize, timers: &[TimerValue], config: &SimConfig) -> u64 {
+    pub(crate) fn eq1_bound(core: usize, timers: &[TimerValue], config: &SimConfig) -> u64 {
         let latency = config.latency();
         let sw = latency.slot_width().get() + latency.memory.get();
         let n = timers.len() as u64;
@@ -402,7 +402,7 @@ impl MetricsProbe {
     /// Whether Eq. 1 describes this configuration at all: RROF
     /// arbitration, direct cache-to-cache data, one outstanding miss per
     /// core (the assumptions of the paper's analysis).
-    fn analysable(config: &SimConfig) -> bool {
+    pub(crate) fn analysable(config: &SimConfig) -> bool {
         config.arbiter() == &ArbiterKind::Rrof
             && config.data_path() == DataPath::CacheToCache
             && config.mshr_per_core() == 1

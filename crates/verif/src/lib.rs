@@ -47,7 +47,10 @@ pub use model::{
     ModelConfig, ModelEvent, ModelState, ModelViolation, Mutation, ThetaClass, ViolationKind,
     MAX_CORES, MAX_LINES,
 };
-pub use replay::{replay, workload_from_trace, ReplayOutcome, REPLAY_THETA};
+pub use replay::{
+    replay, replay_workload, workload_from_trace, workload_from_violation, ReplayOutcome,
+    REPLAY_THETA,
+};
 
 /// All θ-class assignments (mixes) for `cores` cores, in lexicographic
 /// order — `3^cores` entries. The exhaustive sweeps run every one.

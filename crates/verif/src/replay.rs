@@ -16,7 +16,9 @@
 //! come back clean: that is the point — the engine does not contain the
 //! bug the mutation injected, and the probe + validator confirm it.
 
-use cohort_sim::{InvariantProbe, InvariantViolation, SimConfig, SimStats, Simulator};
+use cohort_sim::{
+    InvariantProbe, InvariantViolation, SimConfig, SimStats, Simulator, WcmlViolation,
+};
 use cohort_trace::{Trace, TraceOp, Workload};
 use cohort_types::{Cycles, Result, TimerValue};
 
@@ -130,19 +132,53 @@ pub fn sim_config(config: &ModelConfig) -> Result<SimConfig> {
         .build()
 }
 
-/// Replays `trace` through the real engine with the [`InvariantProbe`]
-/// attached, sampling the engine's deep coherence validator every
-/// [`EVENT_STRIDE`] cycles.
+/// Extracts the replayable prefix of `workload` that leads up to a runtime
+/// watchdog conviction.
+///
+/// The watchdog ([`cohort_sim::WcmlGuard`]) detects a violation at an
+/// absolute engine cycle; every access that can have participated in the
+/// conviction was *issued* no later than that instant. A trace op's
+/// nominal issue time — the sum of the compute gaps before it — is a lower
+/// bound on its actual issue cycle, so keeping each core's ops with
+/// nominal time ≤ `violation.at` retains the violating request itself and
+/// everything that raced with it, while dropping the unrelated tail. The
+/// result is a self-contained `cohort-trace` workload that can be re-run
+/// through [`replay_workload`] (with or without the original fault plan)
+/// to reproduce or clear the conviction.
+#[must_use]
+pub fn workload_from_violation(workload: &Workload, violation: &WcmlViolation) -> Workload {
+    let horizon = violation.at.get();
+    let traces = workload
+        .traces()
+        .iter()
+        .map(|trace| {
+            let mut nominal = 0u64;
+            let mut kept = Vec::new();
+            for op in trace.ops() {
+                nominal = nominal.saturating_add(op.gap.get());
+                if nominal > horizon {
+                    break;
+                }
+                kept.push(*op);
+            }
+            Trace::from_ops(kept)
+        })
+        .collect();
+    Workload::new("wcml-violation-replay", traces).expect("at least one core")
+}
+
+/// Replays an already-concrete workload through the real engine with the
+/// [`InvariantProbe`] attached — the second half of [`replay`], exposed so
+/// watchdog-exported workloads ([`workload_from_violation`]) go through
+/// the exact same harness as model-checker counterexamples.
 ///
 /// # Errors
 ///
 /// Returns an error if the configuration is rejected or the engine fails
 /// mid-run (never for invariant violations — those are reported in the
 /// [`ReplayOutcome`]).
-pub fn replay(config: &ModelConfig, trace: &[ModelEvent]) -> Result<ReplayOutcome> {
-    let workload = workload_from_trace(config, trace);
-    let sim_cfg = sim_config(config)?;
-    let mut sim = Simulator::with_probe(sim_cfg, &workload, InvariantProbe::new())?;
+pub fn replay_workload(sim_cfg: SimConfig, workload: &Workload) -> Result<ReplayOutcome> {
+    let mut sim = Simulator::with_probe(sim_cfg, workload, InvariantProbe::new())?;
 
     let mut engine_state: core::result::Result<(), String> = Ok(());
     while !sim.is_finished() {
@@ -160,12 +196,26 @@ pub fn replay(config: &ModelConfig, trace: &[ModelEvent]) -> Result<ReplayOutcom
     let accesses = stats.cores.iter().map(cohort_sim::CoreStats::accesses).sum();
 
     Ok(ReplayOutcome {
-        workload,
+        workload: workload.clone(),
         stats,
         probe_violations: probe.into_violations(),
         engine_state,
         accesses,
     })
+}
+
+/// Replays `trace` through the real engine with the [`InvariantProbe`]
+/// attached, sampling the engine's deep coherence validator every
+/// [`EVENT_STRIDE`] cycles.
+///
+/// # Errors
+///
+/// Returns an error if the configuration is rejected or the engine fails
+/// mid-run (never for invariant violations — those are reported in the
+/// [`ReplayOutcome`]).
+pub fn replay(config: &ModelConfig, trace: &[ModelEvent]) -> Result<ReplayOutcome> {
+    let workload = workload_from_trace(config, trace);
+    replay_workload(sim_config(config)?, &workload)
 }
 
 #[cfg(test)]
@@ -224,6 +274,58 @@ mod tests {
         // have the injected bug, so probe and deep validator stay clean.
         let outcome = replay(&timed_msi(), &cx.trace).expect("replay must run");
         assert!(outcome.accesses > 0, "the counterexample must exercise the engine");
+        assert!(
+            outcome.engine_is_clean(),
+            "probe: {:?}, state: {:?}",
+            outcome.probe_violations,
+            outcome.engine_state
+        );
+    }
+
+    #[test]
+    fn watchdog_violation_exports_a_replayable_workload() {
+        use cohort_sim::{FaultKind, FaultPlan, FaultSpec, SimProbe, WcmlGuard};
+
+        // A corrupted θ register starves core 0 past its Eq. 1 bound; the
+        // runtime watchdog convicts the latency violation online.
+        let theta = TimerValue::timed(50).expect("θ fits");
+        let config = || SimConfig::builder(2).timers(vec![theta; 2]).build().expect("valid config");
+        // Long enough that the nominal span (gaps only) extends well past
+        // the ~20 000-cycle detection instant, so a tail exists to drop.
+        let ops = |gap| Trace::from_ops(vec![TraceOp::store(1).after(gap); 400]);
+        let workload = Workload::new("chaos", vec![ops(150), ops(150)]).expect("two traces");
+        let plan = FaultPlan::new(vec![FaultSpec {
+            kind: FaultKind::TimerCorruption { value: TimerValue::timed(20_000).expect("θ fits") },
+            core: 1,
+            at: Cycles::new(10),
+        }]);
+        let mut sim = Simulator::with_probe_and_faults(config(), &workload, WcmlGuard::new(), plan)
+            .expect("valid faulted sim");
+        sim.run().expect("faulted run completes");
+        let stats = sim.stats().clone();
+        sim.probe_mut().on_finish(&stats);
+        let violation = sim.probe().violations().first().expect("the fault convicts").clone();
+        assert!(violation.latency > violation.bound);
+
+        // Export: the conviction becomes a self-contained cohort-trace
+        // workload — the violating request survives the prefix cut...
+        let exported = workload_from_violation(&workload, &violation);
+        assert_eq!(exported.cores(), 2);
+        assert!(exported.total_accesses() > 0, "the window must keep the racing ops");
+        assert!(
+            exported.total_accesses() < workload.total_accesses(),
+            "the unrelated tail is dropped"
+        );
+        let line = violation.line.expect("latency convictions carry the line");
+        assert!(
+            exported.traces().iter().any(|t| t.ops().iter().any(|op| op.line == line)),
+            "the violating line stays exercised"
+        );
+
+        // ...and replays through the faithful (unfaulted) engine via the
+        // same harness as model-checker counterexamples, coming back clean.
+        let outcome = replay_workload(config(), &exported).expect("replay must run");
+        assert!(outcome.accesses > 0);
         assert!(
             outcome.engine_is_clean(),
             "probe: {:?}, state: {:?}",
