@@ -6,7 +6,7 @@
 //! analysis still counts as a guaranteed hit. Soundness requires the total
 //! measured WCML to stay under the Eq. 2 bound regardless.
 use cohort_analysis::analyze_cohort;
-use cohort_sim::{CacheGeometry, LlcModel, SimConfig, Simulator};
+use cohort_sim::{CacheGeometry, LlcModel, SimBuilder, SimConfig};
 use cohort_trace::{AccessKind, Trace, TraceOp, Workload};
 use cohort_types::{Cycles, LatencyConfig, LineAddr, TimerValue};
 use rand::{Rng, SeedableRng};
@@ -80,7 +80,7 @@ fn main() {
             CacheGeometry::paper_l1()
         };
         let config = SimConfig::builder(cores).timers(timers.clone()).l1(l1).build().unwrap();
-        let stats = Simulator::new(config, &w).unwrap().run().unwrap();
+        let stats = SimBuilder::new(config, &w).build().unwrap().run().unwrap();
         let bounds = analyze_cohort(&w, &timers, &lat, &l1, &LlcModel::Perfect).unwrap();
         let measured = stats.cores[0].total_latency.get();
         let bound = bounds[0].wcml.unwrap().get();

@@ -64,7 +64,7 @@ proptest! {
         let lat = LatencyConfig::paper();
         let config = SimConfig::builder(4).timers(timers.clone()).build().expect("valid");
         let l1 = *config.l1();
-        let stats = Simulator::new(config, &workload).expect("sim").run().expect("ok");
+        let stats = SimBuilder::new(config, &workload).build().expect("sim").run().expect("ok");
         let bounds = analyze_cohort(&workload, &timers, &lat, &l1, &cohort_sim::LlcModel::Perfect).expect("analysis");
         for (i, (core, bound)) in stats.cores.iter().zip(&bounds).enumerate() {
             prop_assert!(
@@ -93,7 +93,7 @@ proptest! {
             .data_path(DataPath::ViaSharedMemory)
             .build()
             .expect("valid");
-        let stats = Simulator::new(config, &workload).expect("sim").run().expect("ok");
+        let stats = SimBuilder::new(config, &workload).build().expect("sim").run().expect("ok");
         let bounds = analyze_pcc(&workload, &lat);
         for (i, (core, bound)) in stats.cores.iter().zip(&bounds).enumerate() {
             prop_assert!(
@@ -122,7 +122,7 @@ proptest! {
             .waiter_priority(critical.clone())
             .build()
             .expect("valid");
-        let stats = Simulator::new(config, &workload).expect("sim").run().expect("ok");
+        let stats = SimBuilder::new(config, &workload).build().expect("sim").run().expect("ok");
         let params = PendulumParams { critical: critical.clone(), theta };
         let bounds = analyze_pendulum(&workload, &params, &lat).expect("analysis");
         let wcl = wcl_pendulum(n_cr, 4 - n_cr, theta, &lat);

@@ -7,7 +7,7 @@ use std::hint::black_box;
 
 use cohort_analysis::{guaranteed_hits, theta_saturation, wcl_miss};
 use cohort_optim::{GaConfig, GeneticAlgorithm, SearchSpace};
-use cohort_sim::{ArbiterKind, DataPath, SimConfig, Simulator};
+use cohort_sim::{ArbiterKind, DataPath, SimBuilder, SimConfig};
 use cohort_trace::{Kernel, KernelSpec};
 use cohort_types::{Cycles, LatencyConfig, TimerValue};
 
@@ -36,7 +36,7 @@ fn sim_throughput(c: &mut Criterion) {
     for (name, config) in cases {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
-                let mut sim = Simulator::new(config.clone(), &workload).unwrap();
+                let mut sim = SimBuilder::new(config.clone(), &workload).build().unwrap();
                 black_box(sim.run().unwrap())
             });
         });

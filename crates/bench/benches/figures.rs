@@ -5,10 +5,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cohort::{configure_modes, run_experiment, Protocol, SystemSpec};
+use cohort::{run_experiment, ModeSetup, Protocol, SystemSpec};
 use cohort_bench::{optimize_cohort_timers, sweep_protocols, CritConfig};
 use cohort_optim::GaConfig;
-use cohort_sim::{EventLogProbe, SimConfig, Simulator};
+use cohort_sim::{EventLogProbe, SimBuilder, SimConfig};
 use cohort_trace::{micro, Kernel, KernelSpec, Workload};
 use cohort_types::{Criticality, TimerValue};
 
@@ -36,7 +36,7 @@ fn table2(c: &mut Criterion) {
         .unwrap();
     let workload = tiny_kernel(Kernel::Fft);
     c.bench_function("table2/configure_modes", |b| {
-        b.iter(|| black_box(configure_modes(&spec, &workload, &tiny_ga()).unwrap()));
+        b.iter(|| black_box(ModeSetup::new(&spec, &workload).ga(&tiny_ga()).run().unwrap()));
     });
 }
 
@@ -45,8 +45,10 @@ fn fig1(c: &mut Criterion) {
     let config = SimConfig::builder(2).timer(0, TimerValue::timed(200).unwrap()).build().unwrap();
     c.bench_function("fig1/replay", |b| {
         b.iter(|| {
-            let mut sim =
-                Simulator::with_probe(config.clone(), &workload, EventLogProbe::new()).unwrap();
+            let mut sim = SimBuilder::new(config.clone(), &workload)
+                .probe(EventLogProbe::new())
+                .build()
+                .unwrap();
             black_box(sim.run().unwrap())
         });
     });
@@ -62,8 +64,10 @@ fn fig4(c: &mut Criterion) {
         .unwrap();
     c.bench_function("fig4/replay", |b| {
         b.iter(|| {
-            let mut sim =
-                Simulator::with_probe(config.clone(), &workload, EventLogProbe::new()).unwrap();
+            let mut sim = SimBuilder::new(config.clone(), &workload)
+                .probe(EventLogProbe::new())
+                .build()
+                .unwrap();
             black_box(sim.run().unwrap())
         });
     });
@@ -105,7 +109,7 @@ fn fig7(c: &mut Criterion) {
         .build()
         .unwrap();
     let workload = tiny_kernel(Kernel::Fft);
-    let config = configure_modes(&spec, &workload, &tiny_ga()).unwrap();
+    let config = ModeSetup::new(&spec, &workload).ga(&tiny_ga()).run().unwrap();
     c.bench_function("fig7/mode_walk", |b| {
         b.iter(|| {
             let mut controller = cohort::ModeController::new(config.clone());

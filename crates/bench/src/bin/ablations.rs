@@ -18,20 +18,20 @@ use std::sync::Arc;
 use cohort::{ExperimentJob, Protocol, Sweep};
 use cohort_bench::{bench_ga, optimize_cohort_timers, CliOptions, ConsoleObserver, CritConfig};
 use cohort_sim::{
-    ArbiterKind, CacheGeometry, DataPath, LlcModel, ProtocolFlavor, SimConfig, Simulator,
+    ArbiterKind, CacheGeometry, DataPath, LlcModel, ProtocolFlavor, SimBuilder, SimConfig,
 };
 use cohort_trace::{Kernel, KernelSpec, Workload};
 use cohort_types::{LatencyConfig, TimerValue};
 
 fn run_config(config: SimConfig, w: &Workload) -> (u64, u64) {
-    let mut sim = Simulator::new(config, w).expect("sim");
+    let mut sim = SimBuilder::new(config, w).build().expect("sim");
     let stats = sim.run().expect("runs");
     let worst = stats.cores.iter().map(|c| c.worst_request.get()).max().unwrap_or(0);
     (stats.execution_time().get(), worst)
 }
 
 fn main() {
-    let options = CliOptions::parse(std::env::args());
+    let options = CliOptions::parse_or_exit();
     let scale = if options.quick { 4_000 } else { 24_000 };
     let w = KernelSpec::new(Kernel::Ocean, 4).with_total_requests(scale).generate();
     let timers = vec![TimerValue::timed(24).expect("small"); 4];
@@ -165,7 +165,7 @@ fn main() {
     {
         let config =
             SimConfig::builder(4).timers(timers.clone()).flavor(flavor).build().expect("valid");
-        let mut sim = Simulator::new(config, &rmw).expect("sim");
+        let mut sim = SimBuilder::new(config, &rmw).build().expect("sim");
         let stats = sim.run().expect("runs");
         let hits: u64 = stats.cores.iter().map(|c| c.hits).sum();
         println!(

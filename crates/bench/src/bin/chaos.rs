@@ -148,7 +148,7 @@ fn replay_first_conviction(
 }
 
 fn main() -> ExitCode {
-    let options = CliOptions::parse(std::env::args());
+    let options = CliOptions::parse_or_exit();
     let quick = options.quick;
     let mut records = Vec::new();
     let mut failed = false;

@@ -8,7 +8,7 @@
 //! cargo run --release -p cohort-bench --bin fig1
 //! ```
 
-use cohort_sim::{EventKind, EventLogProbe, SimConfig, Simulator};
+use cohort_sim::{EventKind, EventLogProbe, SimBuilder, SimConfig};
 use cohort_trace::micro;
 use cohort_types::TimerValue;
 
@@ -23,7 +23,8 @@ fn main() {
         ("(b) time-based (θ0 = 200)", TimerValue::timed(200).expect("small")),
     ] {
         let config = SimConfig::builder(2).timer(0, timer).build().expect("valid");
-        let mut sim = Simulator::with_probe(config, &workload, EventLogProbe::new()).expect("sim");
+        let mut sim =
+            SimBuilder::new(config, &workload).probe(EventLogProbe::new()).build().expect("sim");
         let stats = sim.run().expect("runs");
         println!("--- {label} ---");
         for event in sim.probe() {

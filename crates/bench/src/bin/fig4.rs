@@ -8,7 +8,7 @@
 //! cargo run --release -p cohort-bench --bin fig4
 //! ```
 
-use cohort_sim::{EventKind, EventLogProbe, SimConfig, Simulator};
+use cohort_sim::{EventKind, EventLogProbe, SimBuilder, SimConfig};
 use cohort_trace::micro;
 use cohort_types::TimerValue;
 
@@ -21,7 +21,8 @@ fn main() {
         .build()
         .expect("valid");
     let workload = micro::figure4();
-    let mut sim = Simulator::with_probe(config, &workload, EventLogProbe::new()).expect("sim");
+    let mut sim =
+        SimBuilder::new(config, &workload).probe(EventLogProbe::new()).build().expect("sim");
     sim.run().expect("runs");
 
     println!("Figure 4 — Example operation (c0, c1, c3 timed with θ = {theta}; c2 MSI)");

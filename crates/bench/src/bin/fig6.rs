@@ -13,7 +13,7 @@ use cohort_bench::{
 };
 
 fn main() {
-    let options = CliOptions::parse(std::env::args());
+    let options = CliOptions::parse_or_exit();
     let configs: Vec<CritConfig> =
         options.config.map_or_else(|| CritConfig::ALL.to_vec(), |c| vec![c]);
     let ga = bench_ga(options.quick);

@@ -13,14 +13,14 @@
 //! cargo run --release -p cohort-bench --bin fig7 [-- --quick] [--json <path>]
 //! ```
 
-use cohort::{configure_modes, ExperimentJob, ModeController, Protocol, Sweep};
+use cohort::{ExperimentJob, ModeController, ModeSetup, Protocol, Sweep};
 use cohort_bench::{bench_ga, fig7_stage_requirements, mode_switch_spec, write_json, CliOptions};
 use cohort_trace::{Kernel, KernelSpec};
 use cohort_types::{CoreId, Cycles, Mode};
 use serde_json::json;
 
 fn main() {
-    let options = CliOptions::parse(std::env::args());
+    let options = CliOptions::parse_or_exit();
     let spec = mode_switch_spec();
     let mut kernel = KernelSpec::new(Kernel::Fft, 4);
     if options.quick {
@@ -30,7 +30,7 @@ fn main() {
     let ga = bench_ga(options.quick);
 
     // Offline: LUT + per-mode bounds (Fig. 2a flow).
-    let config = configure_modes(&spec, &workload, &ga).expect("offline flow succeeds");
+    let config = ModeSetup::new(&spec, &workload).ga(&ga).run().expect("offline flow succeeds");
     let c0 = CoreId::new(0);
     let bound = |m: u32| {
         config

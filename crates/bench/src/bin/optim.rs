@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use cohort_bench::{bench_ga, write_json, CliOptions};
 use cohort_optim::{
-    solve, GaConfig, GaOutcome, GeneticAlgorithm, SearchSpace, StopReason, TimerProblem,
+    GaConfig, GaOutcome, GaRun, GeneticAlgorithm, SearchSpace, StopReason, TimerProblem,
 };
 use cohort_trace::{Kernel, KernelSpec};
 use cohort_types::Cycles;
@@ -92,7 +92,7 @@ fn run_to_json(run: &TimedRun, generations: usize) -> serde_json::Value {
 }
 
 fn main() {
-    let options = CliOptions::parse(std::env::args());
+    let options = CliOptions::parse_or_exit();
     let host_parallelism =
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let (spins, requests, reps) =
@@ -145,7 +145,7 @@ fn main() {
         .build()
         .expect("four-core problem");
     let start = Instant::now();
-    let timer_outcome = solve(&problem, &base);
+    let timer_outcome = GaRun::new(&problem).config(&base).run();
     let timer_seconds = start.elapsed().as_secs_f64();
     let feasible = problem.evaluate(&timer_outcome.best).feasible;
     println!(

@@ -9,7 +9,7 @@
 
 use std::fs;
 
-use cohort::{configure_modes, ModeController};
+use cohort::{ModeController, ModeSetup};
 use cohort_bench::{
     bench_ga, fig7_stage_requirements, geomean, json_report, kernels, mode_switch_spec,
     run_to_json, sweep_protocols, write_json, CliOptions, CritConfig, CORES,
@@ -19,7 +19,7 @@ use cohort_types::{CoreId, Cycles, Mode};
 use serde_json::json;
 
 fn main() {
-    let options = CliOptions::parse(std::env::args());
+    let options = CliOptions::parse_or_exit();
     let ga = bench_ga(options.quick);
     let workloads = kernels(CORES, options.full, options.quick);
     let mut summary = serde_json::Map::new();
@@ -74,7 +74,7 @@ fn main() {
         fft = fft.with_total_requests(Kernel::Fft.default_total_requests() / 10);
     }
     let workload = fft.generate();
-    let modes = configure_modes(&spec, &workload, &ga).expect("offline flow");
+    let modes = ModeSetup::new(&spec, &workload).ga(&ga).run().expect("offline flow");
     let c0 = CoreId::new(0);
     let bound =
         |m: u32| modes.wcml_bound(c0, Mode::new(m).expect("static")).unwrap().unwrap().get();

@@ -9,9 +9,9 @@
 //! cargo run --release -p cohort-bench --bin scaling [-- --quick]
 //! ```
 
-use cohort::{configure_modes, ExperimentJob, Protocol, Sweep, SystemSpec};
+use cohort::{ExperimentJob, ModeSetup, Protocol, Sweep, SystemSpec};
 use cohort_bench::{bench_ga, CliOptions};
-use cohort_optim::{solve, TimerProblem};
+use cohort_optim::{GaRun, TimerProblem};
 use cohort_trace::{Kernel, KernelSpec, Workload};
 use cohort_types::{Criticality, Mode};
 
@@ -23,7 +23,7 @@ struct ScalePoint {
 }
 
 fn main() {
-    let options = CliOptions::parse(std::env::args());
+    let options = CliOptions::parse_or_exit();
     let ga = bench_ga(true); // the sweep itself is the product; keep GA light
     let per_core = if options.quick { 400 } else { 2_000 };
 
@@ -59,7 +59,7 @@ fn main() {
             problem_builder = problem_builder.timed(i, None);
         }
         let problem = problem_builder.build().expect("problem");
-        let outcome = solve(&problem, &ga);
+        let outcome = GaRun::new(&problem).config(&ga).run();
         let timers = problem.timers_from_genes(&outcome.best);
 
         jobs.push(
@@ -101,7 +101,7 @@ fn main() {
     }
     let spec = builder.build().expect("non-empty");
     let workload = KernelSpec::new(Kernel::Barnes, 5).with_total_requests(per_core * 5).generate();
-    let config = configure_modes(&spec, &workload, &ga).expect("flow");
+    let config = ModeSetup::new(&spec, &workload).ga(&ga).run().expect("flow");
     assert_eq!(config.lut.modes(), 5);
     println!(
         "LUT: {} modes × 16 bits = {} bits per core (the paper's 80-bit claim)",

@@ -9,21 +9,21 @@
 //! cargo run --release -p cohort-bench --bin schedulability [-- --quick] [--json <path>]
 //! ```
 
-use cohort::{configure_modes, ModeController};
+use cohort::{ModeController, ModeSetup};
 use cohort_bench::{bench_ga, mode_switch_spec, write_json, CliOptions};
 use cohort_trace::{Kernel, KernelSpec};
 use cohort_types::{CoreId, Cycles, Mode};
 use serde_json::json;
 
 fn main() {
-    let options = CliOptions::parse(std::env::args());
+    let options = CliOptions::parse_or_exit();
     let spec = mode_switch_spec();
     let mut kernel = KernelSpec::new(Kernel::Fft, 4);
     if options.quick {
         kernel = kernel.with_total_requests(Kernel::Fft.default_total_requests() / 10);
     }
     let workload = kernel.generate();
-    let config = configure_modes(&spec, &workload, &bench_ga(options.quick)).expect("flow");
+    let config = ModeSetup::new(&spec, &workload).ga(&bench_ga(options.quick)).run().expect("flow");
 
     let c0 = CoreId::new(0);
     let bound1 = config.wcml_bound(c0, Mode::NORMAL).expect("mode exists").expect("bounded").get();

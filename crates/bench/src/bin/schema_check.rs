@@ -1,12 +1,14 @@
-//! Validates the machine-readable artifacts of the figure bins: a `--json`
-//! report, a `--trace` Chrome-trace file, an `--optim` GA-engine benchmark
-//! report, and/or a `--chaos` fault-campaign report. Exits non-zero on the
-//! first schema violation — CI runs this after a smoke regeneration.
+//! Validates the machine-readable artifacts of the figure bins. Each flag
+//! names a document kind in the validator registry below: a `--report`
+//! figure report, a `--trace` Chrome-trace file, an `--optim` GA-engine
+//! benchmark report, a `--chaos` fault-campaign report, or a `--sim`
+//! engine-throughput report. Exits non-zero on the first schema violation —
+//! CI runs this after a smoke regeneration.
 //!
 //! ```text
 //! cargo run --release -p cohort-bench --bin schema_check -- \
 //!     [--report <report.json>] [--trace <trace.json>] \
-//!     [--optim <optim.json>] [--chaos <chaos.json>]
+//!     [--optim <optim.json>] [--chaos <chaos.json>] [--sim <sim.json>]
 //! ```
 
 use std::path::Path;
@@ -359,6 +361,79 @@ fn check_trace(doc: &serde_json::Value) -> CheckResult {
     Ok(())
 }
 
+/// Checks a `sim` engine-throughput document (`--sim`, `BENCH_sim.json`).
+fn check_sim(doc: &serde_json::Value) -> CheckResult {
+    if get(doc, "generator", "sim")?.as_str() != Some("sim") {
+        return Err("sim: `generator` is not \"sim\"".into());
+    }
+    if get(doc, "quick", "sim")?.as_bool().is_none() {
+        return Err("sim: `quick` is not a boolean".into());
+    }
+    // Two hard gates of the event-scheduler PR: running the event engine
+    // twice must reproduce the exact event log, and the cross-engine
+    // differ must find the engines bit-identical on every preset.
+    if get(doc, "determinism", "sim")?.as_bool() != Some(true) {
+        return Err("sim: `determinism` must be true".into());
+    }
+    if get(doc, "engines_identical", "sim")?.as_bool() != Some(true) {
+        return Err("sim: `engines_identical` must be true".into());
+    }
+    expect_u64(doc, "presets_compared", "sim")?;
+    let results = get(doc, "results", "sim")?
+        .as_array()
+        .ok_or_else(|| "sim: `results` is not an array".to_string())?;
+    if results.is_empty() {
+        return Err("sim: empty `results` array".into());
+    }
+    for (i, result) in results.iter().enumerate() {
+        let what = format!("sim.results[{i}]");
+        expect_str(result, "workload", &what)?;
+        for key in ["cores", "accesses", "cycles_simulated"] {
+            expect_u64(result, key, &what)?;
+        }
+        for key in ["legacy_cycles_per_sec", "event_cycles_per_sec", "speedup"] {
+            expect_f64(result, key, &what)?;
+        }
+        let speedup = get(result, "speedup", &what)?.as_f64().unwrap_or(0.0);
+        if speedup <= 0.0 || !speedup.is_finite() {
+            return Err(format!("{what}: speedup {speedup} is not a positive finite number"));
+        }
+    }
+    // The headline entry: the sparse DRAM-bound workload the event queue
+    // exists for must lead the table, and the event engine must win on it.
+    let first = &results[0];
+    let sparse = get(first, "workload", "sim.results[0]")?.as_str().unwrap_or("");
+    if !sparse.starts_with("sparse") {
+        return Err(format!("sim: first result must be the sparse workload, got `{sparse}`"));
+    }
+    let sparse_speedup = get(first, "speedup", "sim.results[0]")?.as_f64().unwrap_or(0.0);
+    if sparse_speedup < 1.0 {
+        return Err(format!("sim: event engine slower than legacy on sparse ({sparse_speedup}×)"));
+    }
+    println!("sim ok: {} workloads, sparse speedup {sparse_speedup:.1}×", results.len());
+    Ok(())
+}
+
+/// One entry in the validator registry: the CLI flag that selects it and
+/// the checker it dispatches to. New document kinds join by adding a row.
+struct Validator {
+    flag: &'static str,
+    check: fn(&serde_json::Value) -> CheckResult,
+}
+
+const VALIDATORS: &[Validator] = &[
+    Validator { flag: "--report", check: check_report },
+    Validator { flag: "--trace", check: check_trace },
+    Validator { flag: "--optim", check: check_optim },
+    Validator { flag: "--chaos", check: check_chaos },
+    Validator { flag: "--sim", check: check_sim },
+];
+
+fn usage() -> String {
+    let flags: Vec<String> = VALIDATORS.iter().map(|v| format!("[{} <path>]", v.flag)).collect();
+    format!("usage: schema_check {}", flags.join(" "))
+}
+
 fn load(path: &str) -> Result<serde_json::Value, String> {
     let text =
         std::fs::read_to_string(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -370,33 +445,25 @@ fn main() -> ExitCode {
     let mut checked = false;
     let mut failed = false;
     while let Some(arg) = args.next() {
-        let (kind, path) = match arg.as_str() {
-            "--report" => ("report", args.next().expect("--report needs a path")),
-            "--trace" => ("trace", args.next().expect("--trace needs a path")),
-            "--optim" => ("optim", args.next().expect("--optim needs a path")),
-            "--chaos" => ("chaos", args.next().expect("--chaos needs a path")),
-            other => {
-                eprintln!(
-                    "unknown flag `{other}` (use --report <path>, --trace <path>, \
-                     --optim <path>, --chaos <path>)"
-                );
-                return ExitCode::FAILURE;
-            }
+        let Some(validator) = VALIDATORS.iter().find(|v| v.flag == arg) else {
+            eprintln!("unknown flag `{arg}`");
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        };
+        let Some(path) = args.next() else {
+            eprintln!("{} needs a path", validator.flag);
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
         };
         checked = true;
-        let outcome = load(&path).and_then(|doc| match kind {
-            "report" => check_report(&doc),
-            "optim" => check_optim(&doc),
-            "chaos" => check_chaos(&doc),
-            _ => check_trace(&doc),
-        });
-        if let Err(message) = outcome {
+        if let Err(message) = load(&path).and_then(|doc| (validator.check)(&doc)) {
             eprintln!("schema violation: {message}");
             failed = true;
         }
     }
     if !checked {
-        eprintln!("nothing to check (use --report <path> and/or --trace <path>)");
+        eprintln!("nothing to check");
+        eprintln!("{}", usage());
         return ExitCode::FAILURE;
     }
     if failed {

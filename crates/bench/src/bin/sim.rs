@@ -1,0 +1,271 @@
+//! Engine-throughput benchmark: legacy cycle-round vs event-driven
+//! scheduler, on the workload shapes the event queue was built for.
+//!
+//! The sparse workload is the motivating case: wide machines where at
+//! almost every visited instant exactly one core is due, misses go all
+//! the way to DRAM, and timer-held shared lines keep a standing waiter
+//! population. The legacy engine pays its full O(cores + waiters) round —
+//! `step_cores` over every core, a candidate per core in `try_start_txn`,
+//! and `head_release_instant` for every waiting line in `next_event` — at
+//! each of those instants; the event engine dispatches the one due
+//! component. The dense workloads bound the other end: bus-saturated
+//! sharing where every cycle has work and both engines track closely.
+//!
+//! Also asserts the two invariants CI smoke-checks via
+//! `schema_check --sim`: double-run determinism of the event engine
+//! (bit-identical event logs and stats) and cross-engine bit-identity on
+//! the protocol preset matrix.
+//!
+//! ```text
+//! cargo run --release -p cohort-bench --bin sim -- \
+//!     [--quick] [--json results/BENCH_sim.json]
+//! ```
+
+use std::time::Instant;
+
+use serde_json::json;
+
+use cohort_bench::{write_json, CliOptions};
+use cohort_sim::{
+    compare_engines, ArbiterKind, CacheGeometry, DataPath, EngineKind, EventLogProbe, FaultPlan,
+    LlcModel, ProtocolFlavor, SimBuilder, SimConfig,
+};
+use cohort_trace::{micro, Trace, TraceOp, Workload};
+use cohort_types::{LatencyConfig, Result, TimerValue};
+
+/// One measured workload: its shape, the config it runs under, and how
+/// both engines fared on it.
+struct Measurement {
+    workload: String,
+    cores: usize,
+    accesses: u64,
+    cycles_simulated: u64,
+    legacy_seconds: f64,
+    event_seconds: f64,
+}
+
+impl Measurement {
+    fn legacy_cycles_per_sec(&self) -> f64 {
+        self.cycles_simulated as f64 / self.legacy_seconds.max(1e-9)
+    }
+
+    fn event_cycles_per_sec(&self) -> f64 {
+        self.cycles_simulated as f64 / self.event_seconds.max(1e-9)
+    }
+
+    fn speedup(&self) -> f64 {
+        self.event_cycles_per_sec() / self.legacy_cycles_per_sec().max(1e-9)
+    }
+}
+
+/// Each core works through its own private lines — mostly re-use hits
+/// separated by core-staggered compute gaps — with every 256th access a
+/// cold line that misses all the way to DRAM and every 128th a store to a
+/// line shared by its group of four cores. Under long coherence timers
+/// the shared lines hold standing waiter queues, so the legacy engine's
+/// per-instant scan re-derives `head_release_instant` (a walk over every
+/// dispossessed holder) for each of them at every visited instant, while
+/// the event engine only re-derives the lines a completed transaction or
+/// popped release wake actually dirtied. Prime-spaced base addresses keep
+/// the per-core regions from colliding in the same LLC sets.
+fn sparse_dram(cores: usize, accesses: usize, gap: u64) -> Workload {
+    let traces = (0..cores)
+        .map(|core| {
+            let base = 1_048_573 * (core as u64 + 1);
+            let shared = 0x7fff_0000 + (core as u64 / 4);
+            // Co-prime-ish stagger so per-core instants rarely collide.
+            let stagger = gap + 17 * core as u64;
+            let mut cold = 0u64;
+            let ops = (0..accesses)
+                .map(|i| {
+                    if i % 128 == 47 {
+                        TraceOp::store(shared).after(stagger)
+                    } else if i % 256 == 31 {
+                        cold += 1;
+                        TraceOp::load(base + 0x1000 + cold).after(stagger)
+                    } else {
+                        TraceOp::load(base + (i % 8) as u64).after(stagger)
+                    }
+                })
+                .collect();
+            Trace::from_ops(ops)
+        })
+        .collect();
+    Workload::new("sparse-dram", traces).expect("cores > 0")
+}
+
+/// A finite LLC with DRAM behind it (cold sparse accesses miss all the
+/// way to memory), long per-core coherence timers (holders keep the
+/// shared lines, so waiter queues stand for tens of thousands of cycles)
+/// and enough MSHRs that a waiting store does not stop the sparse stream.
+fn dram_bound_config(cores: usize) -> SimConfig {
+    SimConfig::builder(cores)
+        .latency(LatencyConfig::paper().with_memory(100))
+        .llc(LlcModel::Finite(CacheGeometry::new(8 * 1024 * 1024, 64, 16).expect("valid geometry")))
+        .timers(vec![TimerValue::timed(60_000).expect("nonzero"); cores])
+        .mshr_per_core(4)
+        .build()
+        .expect("valid config")
+}
+
+/// Runs `workload` under `config` on the given engine, returning the wall
+/// time and final simulated-cycle count.
+fn time_engine(config: &SimConfig, workload: &Workload, kind: EngineKind) -> Result<(f64, u64)> {
+    let mut sim = SimBuilder::new(config.clone(), workload).engine(kind).build()?;
+    let start = Instant::now();
+    let stats = sim.run()?;
+    Ok((start.elapsed().as_secs_f64(), stats.cycles.get()))
+}
+
+/// Times both engines on one workload and checks they simulated the same
+/// number of cycles (a cheap cross-check on top of the preset differ).
+fn measure(name: &str, config: &SimConfig, workload: &Workload) -> Result<Measurement> {
+    let (legacy_seconds, legacy_cycles) = time_engine(config, workload, EngineKind::CycleRound)?;
+    let (event_seconds, event_cycles) = time_engine(config, workload, EngineKind::EventDriven)?;
+    assert_eq!(
+        legacy_cycles, event_cycles,
+        "{name}: engines disagree on simulated length ({legacy_cycles} vs {event_cycles})"
+    );
+    Ok(Measurement {
+        workload: name.to_string(),
+        cores: workload.cores(),
+        accesses: workload.total_accesses(),
+        cycles_simulated: event_cycles,
+        legacy_seconds,
+        event_seconds,
+    })
+}
+
+/// Runs the event engine twice on the same scenario and asserts the event
+/// logs and final stats are bit-identical.
+fn assert_deterministic(config: &SimConfig, workload: &Workload) -> Result<()> {
+    let run = || -> Result<(Vec<cohort_sim::Event>, cohort_sim::SimStats)> {
+        let mut sim = SimBuilder::new(config.clone(), workload)
+            .probe(EventLogProbe::new())
+            .engine(EngineKind::EventDriven)
+            .build()?;
+        let stats = sim.run()?;
+        Ok((sim.into_probe().into_events(), stats))
+    };
+    let (first_log, first_stats) = run()?;
+    let (second_log, second_stats) = run()?;
+    assert_eq!(first_log, second_log, "event engine produced different logs on identical runs");
+    assert_eq!(first_stats, second_stats, "event engine produced different stats");
+    Ok(())
+}
+
+/// The preset matrix the cross-engine differ sweeps: every arbiter, data
+/// path, flavor and timer shape the bench figures exercise.
+fn preset_matrix(cores: usize) -> Vec<(&'static str, SimConfig)> {
+    let build = SimConfig::builder;
+    vec![
+        ("msi_rrof", build(cores).build().expect("valid")),
+        (
+            "cohort_timed",
+            build(cores)
+                .timers(vec![TimerValue::timed(30).expect("nonzero"); cores])
+                .build()
+                .expect("valid"),
+        ),
+        ("pcc_staged", build(cores).data_path(DataPath::ViaSharedMemory).build().expect("valid")),
+        (
+            "pendulum_tdm",
+            build(cores)
+                .timers(vec![TimerValue::timed(300).expect("nonzero"); cores])
+                .arbiter(ArbiterKind::Tdm { critical: vec![true; cores] })
+                .waiter_priority(vec![true; cores])
+                .build()
+                .expect("valid"),
+        ),
+        ("msi_fcfs", build(cores).arbiter(ArbiterKind::Fcfs).build().expect("valid")),
+        ("mesi_rrof", build(cores).flavor(ProtocolFlavor::Mesi).build().expect("valid")),
+    ]
+}
+
+/// Sweeps the preset matrix through the cross-engine differ, returning
+/// the number of presets compared. Panics on the first divergence.
+fn assert_engines_identical(quick: bool) -> Result<usize> {
+    let seeds: &[u64] = if quick { &[1] } else { &[1, 9] };
+    let mut compared = 0;
+    for &seed in seeds {
+        let workload = micro::random_shared(4, 32, if quick { 80 } else { 160 }, 0.5, seed);
+        let plan = FaultPlan::seeded(seed, 4, 20_000, 6);
+        for (name, config) in preset_matrix(4) {
+            let cmp = compare_engines(&config, &workload, &plan, &[])?;
+            assert!(cmp.is_identical(), "seed {seed} / {name}: {}", cmp.describe());
+            compared += 1;
+        }
+    }
+    Ok(compared)
+}
+
+fn main() -> Result<()> {
+    let options = CliOptions::parse_or_exit();
+    let quick = options.quick;
+    let (cores, accesses, gap) = if quick { (64, 2_000, 200) } else { (64, 20_000, 200) };
+
+    // The headline sparse workload, plus dense counterpoints.
+    let sparse_config = dram_bound_config(cores);
+    let sparse = sparse_dram(cores, accesses, gap);
+    let dense_cores = 4;
+    let dense_config = SimConfig::builder(dense_cores).build().expect("valid config");
+    let ping_pong = micro::ping_pong(dense_cores, if quick { 200 } else { 2_000 });
+    let shared = micro::random_shared(dense_cores, 64, if quick { 400 } else { 4_000 }, 0.5, 5);
+
+    eprintln!("sim: determinism check");
+    assert_deterministic(&sparse_config, &sparse)?;
+    assert_deterministic(&dense_config, &shared)?;
+
+    eprintln!("sim: cross-engine preset matrix");
+    let presets_compared = assert_engines_identical(quick)?;
+
+    eprintln!("sim: timing engines");
+    let measurements = vec![
+        measure("sparse_dram", &sparse_config, &sparse)?,
+        measure("dense_ping_pong", &dense_config, &ping_pong)?,
+        measure("dense_random_shared", &dense_config, &shared)?,
+    ];
+
+    for m in &measurements {
+        println!(
+            "{:<20} {:>2} cores  {:>8} accesses  {:>10} cycles  legacy {:>12.0} cyc/s  \
+             event {:>12.0} cyc/s  speedup {:>7.1}×",
+            m.workload,
+            m.cores,
+            m.accesses,
+            m.cycles_simulated,
+            m.legacy_cycles_per_sec(),
+            m.event_cycles_per_sec(),
+            m.speedup(),
+        );
+    }
+
+    if let Some(path) = &options.json {
+        // Hand-built document: the `--sim` schema in schema_check.
+        let results: Vec<serde_json::Value> = measurements
+            .iter()
+            .map(|m| {
+                json!({
+                    "workload": m.workload.clone(),
+                    "cores": m.cores as u64,
+                    "accesses": m.accesses,
+                    "cycles_simulated": m.cycles_simulated,
+                    "legacy_cycles_per_sec": m.legacy_cycles_per_sec(),
+                    "event_cycles_per_sec": m.event_cycles_per_sec(),
+                    "speedup": m.speedup(),
+                })
+            })
+            .collect();
+        let doc = json!({
+            "generator": "sim",
+            "quick": quick,
+            "determinism": true,
+            "engines_identical": true,
+            "presets_compared": presets_compared as u64,
+            "results": results,
+        });
+        write_json(path, &doc)?;
+        eprintln!("sim: wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -6,13 +6,13 @@
 //! cargo run --release -p cohort-bench --bin table2 [-- --quick] [--json <path>]
 //! ```
 
-use cohort::configure_modes;
+use cohort::ModeSetup;
 use cohort_bench::{bench_ga, mode_switch_spec, write_json, CliOptions};
 use cohort_trace::{Kernel, KernelSpec};
 use serde_json::json;
 
 fn main() {
-    let options = CliOptions::parse(std::env::args());
+    let options = CliOptions::parse_or_exit();
     let spec = mode_switch_spec();
     let mut kernel = KernelSpec::new(Kernel::Fft, 4);
     if options.quick {
@@ -20,7 +20,7 @@ fn main() {
     }
     let workload = kernel.generate();
     let ga = bench_ga(options.quick);
-    let config = configure_modes(&spec, &workload, &ga).expect("offline flow succeeds");
+    let config = ModeSetup::new(&spec, &workload).ga(&ga).run().expect("offline flow succeeds");
 
     println!("Table II — Timer configurations of cores at different modes (fft)");
     println!("(paper values: m1: 300/20/20/20 … m4: 500/-1/-1/-1; ours are re-optimized");

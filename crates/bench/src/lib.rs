@@ -14,8 +14,8 @@ use cohort::{
     ExperimentJob, ExperimentOutcome, JobProgress, Protocol, ProtocolKind, Sweep, SweepObserver,
     SystemSpec,
 };
-use cohort_optim::{solve, GaConfig, TimerProblem};
-use cohort_sim::{ChromeTraceProbe, Simulator};
+use cohort_optim::{GaConfig, GaRun, TimerProblem};
+use cohort_sim::{ChromeTraceProbe, SimBuilder};
 use cohort_trace::{Kernel, KernelSpec, Workload};
 use cohort_types::{Criticality, Cycles, Error, Result, TimerValue};
 use serde_json::json;
@@ -161,7 +161,7 @@ pub fn optimize_cohort_timers(
         }
     }
     let problem = builder.build()?;
-    let outcome = solve(&problem, ga);
+    let outcome = GaRun::new(&problem).config(ga).run();
     Ok(problem.timers_from_genes(&outcome.best))
 }
 
@@ -381,7 +381,7 @@ pub fn write_chrome_trace(
     workload: &Workload,
 ) -> Result<()> {
     let config = protocol.sim_config(spec)?;
-    let mut sim = Simulator::with_probe(config, workload, ChromeTraceProbe::new())?;
+    let mut sim = SimBuilder::new(config, workload).probe(ChromeTraceProbe::new()).build()?;
     sim.run()?;
     if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
         std::fs::create_dir_all(parent).map_err(|e| Error::Codec(e.to_string()))?;
@@ -449,14 +449,18 @@ pub struct CliOptions {
     pub trace: Option<PathBuf>,
 }
 
+/// The usage line shared by every bin's flag-error message.
+pub const CLI_USAGE: &str = "usage: [--full|--quick] [--config <slug>] [--json <path>] \
+                             [--metrics] [--trace <path>]";
+
 impl CliOptions {
     /// Parses `std::env::args`-style arguments.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics (with a usage message) on unknown flags.
-    #[must_use]
-    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+    /// Returns a usage message on unknown flags, a flag missing its value,
+    /// an unknown `--config` slug, or `--full` combined with `--quick`.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut options = CliOptions::default();
         let mut args = args.skip(1);
         while let Some(arg) = args.next() {
@@ -464,27 +468,38 @@ impl CliOptions {
                 "--full" => options.full = true,
                 "--quick" => options.quick = true,
                 "--config" => {
-                    let slug = args.next().expect("--config needs a value");
+                    let slug = args.next().ok_or("--config needs a value")?;
                     options.config = Some(
                         CritConfig::from_slug(&slug)
-                            .unwrap_or_else(|| panic!("unknown config `{slug}`")),
+                            .ok_or_else(|| format!("unknown config `{slug}`"))?,
                     );
                 }
                 "--json" => {
-                    options.json = Some(PathBuf::from(args.next().expect("--json needs a path")));
+                    options.json = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
                 }
                 "--metrics" => options.metrics = true,
                 "--trace" => {
-                    options.trace = Some(PathBuf::from(args.next().expect("--trace needs a path")));
+                    options.trace = Some(PathBuf::from(args.next().ok_or("--trace needs a path")?));
                 }
-                other => panic!(
-                    "unknown flag `{other}` (use --full, --quick, --config <slug>, \
-                     --json <path>, --metrics, --trace <path>)"
-                ),
+                other => return Err(format!("unknown flag `{other}`")),
             }
         }
-        assert!(!(options.full && options.quick), "--full and --quick are mutually exclusive");
-        options
+        if options.full && options.quick {
+            return Err("--full and --quick are mutually exclusive".into());
+        }
+        Ok(options)
+    }
+
+    /// Parses the process arguments, printing the error plus the usage
+    /// line and exiting with a nonzero status when they are invalid — the
+    /// shared entry point of every bin target.
+    #[must_use]
+    pub fn parse_or_exit() -> Self {
+        Self::parse(std::env::args()).unwrap_or_else(|message| {
+            eprintln!("{message}");
+            eprintln!("{CLI_USAGE}");
+            std::process::exit(2);
+        })
     }
 }
 
@@ -534,7 +549,8 @@ mod tests {
             ]
             .iter()
             .map(ToString::to_string),
-        );
+        )
+        .unwrap();
         assert!(opts.quick);
         assert_eq!(opts.config, Some(CritConfig::AllCr));
         assert_eq!(opts.json.as_deref(), Some(Path::new("out/fig5.json")));
@@ -543,9 +559,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "mutually exclusive")]
     fn full_and_quick_conflict() {
-        let _ = CliOptions::parse(["bin", "--full", "--quick"].iter().map(ToString::to_string));
+        let err = CliOptions::parse(["bin", "--full", "--quick"].iter().map(ToString::to_string))
+            .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn cli_rejects_unknown_flags_and_missing_values() {
+        let err =
+            CliOptions::parse(["bin", "--bogus"].iter().map(ToString::to_string)).unwrap_err();
+        assert!(err.contains("unknown flag"), "unexpected message: {err}");
+        let err =
+            CliOptions::parse(["bin", "--config"].iter().map(ToString::to_string)).unwrap_err();
+        assert!(err.contains("needs a value"), "unexpected message: {err}");
+        let err = CliOptions::parse(["bin", "--config", "nope"].iter().map(ToString::to_string))
+            .unwrap_err();
+        assert!(err.contains("unknown config"), "unexpected message: {err}");
     }
 
     #[test]

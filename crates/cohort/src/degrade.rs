@@ -12,7 +12,7 @@
 //! the same hand-built JSON path as the metrics reports.
 
 use cohort_sim::{
-    FaultPlan, InjectedFault, SimConfig, SimStats, Simulator, WcmlGuard, WcmlViolation,
+    FaultPlan, InjectedFault, SimBuilder, SimConfig, SimStats, WcmlGuard, WcmlViolation,
     WcmlViolationKind,
 };
 use cohort_trace::Workload;
@@ -37,7 +37,7 @@ pub struct WatchdogPolicy {
     /// Convict a progress violation when nothing observable happens for
     /// this many cycles while cores still have work (`None` = disabled).
     pub progress_timeout: Option<u64>,
-    /// Deep-check [`Simulator::validate_coherence`] at every poll and feed
+    /// Deep-check [`cohort_sim::Simulator::validate_coherence`] at every poll and feed
     /// failures to the guard as coherence convictions.
     pub validate_coherence: bool,
     /// At most this many violations are kept verbatim in the report (the
@@ -239,7 +239,7 @@ impl DegradationReport {
 /// operational mode through `lut` when convictions cross the policy
 /// threshold.
 ///
-/// The loop alternates [`Simulator::run_until`] slices of `policy.stride`
+/// The loop alternates [`cohort_sim::Simulator::run_until`] slices of `policy.stride`
 /// cycles with watchdog polls; a switch is programmed one cycle after its
 /// decision, mirroring the LUT's single-cycle register write. Everything is
 /// deterministic: the same `(config, workload, lut, plan, policy)` always
@@ -298,7 +298,7 @@ pub fn run_with_watchdog(
     if let Some(timeout) = policy.progress_timeout {
         guard = guard.with_progress_timeout(timeout);
     }
-    let mut sim = Simulator::with_probe_and_faults(config, workload, &mut guard, plan)?;
+    let mut sim = SimBuilder::new(config, workload).probe(&mut guard).faults(plan).build()?;
 
     let mut mode = Mode::NORMAL;
     let mut switches: Vec<SwitchRecord> = Vec::new();

@@ -2,7 +2,7 @@
 //! figure-regeneration benches.
 
 use cohort_analysis::CoreBound;
-use cohort_sim::{MetricsProbe, MetricsReport, SimStats, Simulator};
+use cohort_sim::{MetricsProbe, MetricsReport, SimBuilder, SimStats};
 use cohort_trace::Workload;
 use cohort_types::Result;
 
@@ -79,7 +79,7 @@ pub fn run_experiment(
     workload: &Workload,
 ) -> Result<ExperimentOutcome> {
     let config = protocol.sim_config(spec)?;
-    let mut sim = Simulator::new(config, workload)?;
+    let mut sim = SimBuilder::new(config, workload).build()?;
     let stats = sim.run()?;
     let bounds = protocol.analyze(spec, workload)?;
     Ok(ExperimentOutcome {
@@ -104,7 +104,7 @@ pub fn run_experiment_with_metrics(
     workload: &Workload,
 ) -> Result<ExperimentOutcome> {
     let config = protocol.sim_config(spec)?;
-    let mut sim = Simulator::with_probe(config, workload, MetricsProbe::new())?;
+    let mut sim = SimBuilder::new(config, workload).probe(MetricsProbe::new()).build()?;
     let stats = sim.run()?;
     let metrics = sim.into_probe().into_report();
     let bounds = protocol.analyze(spec, workload)?;

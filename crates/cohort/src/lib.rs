@@ -13,7 +13,7 @@
 //!   criticality levels, per-mode WCML requirements, latencies;
 //! - [`Protocol`]: ready-made configurations for CoHoRT and the paper's
 //!   baselines (MSI, MSI+FCFS, PCC, PENDULUM);
-//! - [`configure_modes`]: the offline flow of Fig. 2a — one GA run per
+//! - [`ModeSetup`]: the offline flow of Fig. 2a — one GA run per
 //!   operational mode (each warm-started from the previous mode's
 //!   solution), producing the per-core [`ModeSwitchLut`];
 //! - [`ModeController`]: the run-time half of §VI — when a requirement
@@ -75,9 +75,9 @@ pub use degrade::{
     run_with_watchdog, DegradationReport, PostSwitchCompliance, SwitchRecord, WatchdogPolicy,
 };
 pub use experiment::{run_experiment, run_experiment_with_metrics, ExperimentOutcome};
-pub use modes::{
-    configure_modes, configure_modes_observed, ModeConfiguration, ModeEntry, ModeSwitchLut,
-};
+#[allow(deprecated)]
+pub use modes::{configure_modes, configure_modes_observed};
+pub use modes::{ModeConfiguration, ModeEntry, ModeSetup, ModeSwitchLut};
 pub use protocol::{Protocol, ProtocolKind};
 pub use system::{CoreSpec, SystemSpec, SystemSpecBuilder};
 

@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use cohort_analysis::CoreBound;
-use cohort_optim::{solve_observed, GaConfig, GaObserver, TimerProblem};
+use cohort_optim::{GaConfig, GaObserver, GaRun, TimerProblem};
 use cohort_trace::Workload;
 use cohort_types::{CoreId, Cycles, Error, Mode, Result, TimerValue};
 
@@ -136,21 +136,18 @@ impl ModeConfiguration {
     }
 }
 
-/// Runs the offline flow of Fig. 2a: for each mode, optimize the timers of
-/// the cores that stay timed, pin the rest to MSI, and collect the LUT.
+/// The offline flow of Fig. 2a, configured builder-style: for each mode,
+/// optimize the timers of the cores that stay timed, pin the rest to MSI,
+/// and collect the LUT.
 ///
 /// Modes whose optimization cannot meet every requirement are recorded with
 /// `feasible = false` (the run-time controller will skip over them), using
 /// the best assignment the GA found.
 ///
-/// # Errors
-///
-/// Returns an error if the spec and workload disagree on the core count.
-///
 /// # Examples
 ///
 /// ```
-/// use cohort::{configure_modes, SystemSpec};
+/// use cohort::{ModeSetup, SystemSpec};
 /// use cohort_optim::GaConfig;
 /// use cohort_trace::micro;
 /// use cohort_types::{Criticality, Mode};
@@ -161,56 +158,118 @@ impl ModeConfiguration {
 ///     .build()?;
 /// let workload = micro::line_bursts(2, 4, 40);
 /// let ga = GaConfig { population: 12, generations: 6, ..Default::default() };
-/// let config = configure_modes(&spec, &workload, &ga)?;
+/// let config = ModeSetup::new(&spec, &workload).ga(&ga).run()?;
 /// assert_eq!(config.lut.modes(), 2);
 /// // At mode 2 the low-criticality core is degraded to MSI.
 /// assert!(config.lut.timers_for(Mode::new(2)?)?[1].is_msi());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+pub struct ModeSetup<'a> {
+    spec: &'a SystemSpec,
+    workload: &'a Workload,
+    ga: GaConfig,
+    observer: Option<&'a dyn GaObserver>,
+}
+
+impl<'a> ModeSetup<'a> {
+    /// Starts a mode-configuration run with a default [`GaConfig`] and no
+    /// observer.
+    #[must_use]
+    pub fn new(spec: &'a SystemSpec, workload: &'a Workload) -> Self {
+        ModeSetup { spec, workload, ga: GaConfig::default(), observer: None }
+    }
+
+    /// Replaces the GA engine configuration used for every mode (the seed
+    /// is staggered per mode internally).
+    #[must_use]
+    pub fn ga(mut self, ga: &GaConfig) -> Self {
+        self.ga = ga.clone();
+        self
+    }
+
+    /// Attaches a [`GaObserver`] progress hook.
+    ///
+    /// The observer sees every generation of every mode's GA run (modes
+    /// are configured in ascending order, so generation reports arrive
+    /// grouped by mode); a [`cohort_optim::CheckpointFile`] sink here
+    /// makes the whole offline flow resumable at per-generation
+    /// granularity.
+    #[must_use]
+    pub fn observer(mut self, observer: &'a dyn GaObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Runs the flow: one GA run per mode, ascending, each warm-started
+    /// from the previous mode's solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the spec and workload disagree on the core
+    /// count.
+    pub fn run(self) -> Result<ModeConfiguration> {
+        if self.workload.cores() != self.spec.cores() {
+            return Err(Error::InvalidConfig(format!(
+                "workload has {} cores, spec has {}",
+                self.workload.cores(),
+                self.spec.cores()
+            )));
+        }
+        let observer = self.observer.unwrap_or(&SilentObserver);
+        // Modes are configured sequentially in ascending order so each mode
+        // can seed its GA with the previous mode's solution: cores that
+        // stay timed in mode l+1 were timed in mode l, so the projection of
+        // mode l's θ vector is a strong warm start (escalated modes refine
+        // rather than rediscover the normal mode's timers). Parallelism
+        // comes from inside the GA, which scores each offspring batch
+        // across worker threads.
+        let mut entries: Vec<ModeEntry> = Vec::new();
+        for mode in self.spec.modes() {
+            let entry = configure_one_mode(
+                self.spec,
+                self.workload,
+                &self.ga,
+                mode,
+                entries.last(),
+                observer,
+            )?;
+            entries.push(entry);
+        }
+        let rows = entries.iter().map(|e| e.timers.clone()).collect();
+        Ok(ModeConfiguration { entries, lut: ModeSwitchLut::new(rows)? })
+    }
+}
+
+/// Runs the offline flow of Fig. 2a with default observer.
+///
+/// # Errors
+///
+/// Returns an error if the spec and workload disagree on the core count.
+#[deprecated(since = "0.2.0", note = "use `ModeSetup::new(spec, workload).ga(ga).run()`")]
 pub fn configure_modes(
     spec: &SystemSpec,
     workload: &Workload,
     ga: &GaConfig,
 ) -> Result<ModeConfiguration> {
-    configure_modes_observed(spec, workload, ga, &SilentObserver)
+    ModeSetup::new(spec, workload).ga(ga).run()
 }
 
-/// [`configure_modes`] with a [`GaObserver`] progress hook.
-///
-/// The observer sees every generation of every mode's GA run (modes are
-/// configured in ascending order, so generation reports arrive grouped by
-/// mode); a [`cohort_optim::CheckpointFile`] sink here makes the whole
-/// offline flow resumable at per-generation granularity.
+/// [`ModeSetup::run`] with a [`GaObserver`] progress hook.
 ///
 /// # Errors
 ///
 /// Returns an error if the spec and workload disagree on the core count.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ModeSetup::new(spec, workload).ga(ga).observer(observer).run()`"
+)]
 pub fn configure_modes_observed(
     spec: &SystemSpec,
     workload: &Workload,
     ga: &GaConfig,
     observer: &dyn GaObserver,
 ) -> Result<ModeConfiguration> {
-    if workload.cores() != spec.cores() {
-        return Err(Error::InvalidConfig(format!(
-            "workload has {} cores, spec has {}",
-            workload.cores(),
-            spec.cores()
-        )));
-    }
-    // Modes are configured sequentially in ascending order so each mode can
-    // seed its GA with the previous mode's solution: cores that stay timed
-    // in mode l+1 were timed in mode l, so the projection of mode l's θ
-    // vector is a strong warm start (escalated modes refine rather than
-    // rediscover the normal mode's timers). Parallelism comes from inside
-    // the GA, which scores each offspring batch across worker threads.
-    let mut entries: Vec<ModeEntry> = Vec::new();
-    for mode in spec.modes() {
-        let entry = configure_one_mode(spec, workload, ga, mode, entries.last(), observer)?;
-        entries.push(entry);
-    }
-    let rows = entries.iter().map(|e| e.timers.clone()).collect();
-    Ok(ModeConfiguration { entries, lut: ModeSwitchLut::new(rows)? })
+    ModeSetup::new(spec, workload).ga(ga).observer(observer).run()
 }
 
 fn configure_one_mode(
@@ -232,8 +291,8 @@ fn configure_one_mode(
     }
     let problem = builder.build()?;
     // Project the previous mode's solution onto the cores that stay timed
-    // in this mode; `solve_observed` clamps each gene into this mode's
-    // saturation bounds.
+    // in this mode; [`GaRun`] clamps each gene into this mode's saturation
+    // bounds.
     let warm_start: Vec<Vec<u64>> = previous
         .map(|prev| {
             problem
@@ -247,7 +306,7 @@ fn configure_one_mode(
     // Stagger the seed per mode so modes explore independently but
     // deterministically.
     let mode_ga = GaConfig { seed: ga.seed ^ u64::from(mode.index()), ..ga.clone() };
-    let outcome = solve_observed(&problem, &mode_ga, &warm_start, observer);
+    let outcome = GaRun::new(&problem).config(&mode_ga).seeds(warm_start).observer(observer).run();
     let assignment = problem.evaluate(&outcome.best);
     Ok(ModeEntry {
         mode,
@@ -257,7 +316,8 @@ fn configure_one_mode(
     })
 }
 
-/// The do-nothing observer behind [`configure_modes`].
+/// The do-nothing observer behind a [`ModeSetup`] with no explicit
+/// observer.
 struct SilentObserver;
 
 impl GaObserver for SilentObserver {}
@@ -286,7 +346,7 @@ mod tests {
     fn lut_degrades_low_criticality_cores_per_mode() {
         let spec = spec_4level();
         let w = micro::line_bursts(4, 4, 30);
-        let config = configure_modes(&spec, &w, &quick_ga()).unwrap();
+        let config = ModeSetup::new(&spec, &w).ga(&quick_ga()).run().unwrap();
         assert_eq!(config.lut.modes(), 4);
         for (m, entry) in config.entries.iter().enumerate() {
             let mode_index = m + 1;
@@ -311,7 +371,7 @@ mod tests {
         // Eq. 1, so c0's bound is non-increasing in the mode index.
         let spec = spec_4level();
         let w = micro::line_bursts(4, 4, 30);
-        let config = configure_modes(&spec, &w, &quick_ga()).unwrap();
+        let config = ModeSetup::new(&spec, &w).ga(&quick_ga()).run().unwrap();
         let bounds: Vec<u64> = spec
             .modes()
             .map(|m| config.wcml_bound(CoreId::new(0), m).unwrap().unwrap().get())
@@ -345,15 +405,15 @@ mod tests {
     fn workload_mismatch_rejected() {
         let spec = spec_4level();
         let w = micro::line_bursts(2, 4, 10);
-        assert!(configure_modes(&spec, &w, &quick_ga()).is_err());
+        assert!(ModeSetup::new(&spec, &w).ga(&quick_ga()).run().is_err());
     }
 
     #[test]
     fn configuration_is_deterministic() {
         let spec = spec_4level();
         let w = micro::line_bursts(4, 3, 20);
-        let a = configure_modes(&spec, &w, &quick_ga()).unwrap();
-        let b = configure_modes(&spec, &w, &quick_ga()).unwrap();
+        let a = ModeSetup::new(&spec, &w).ga(&quick_ga()).run().unwrap();
+        let b = ModeSetup::new(&spec, &w).ga(&quick_ga()).run().unwrap();
         assert_eq!(a.lut, b.lut);
     }
 
@@ -365,8 +425,8 @@ mod tests {
         let w = micro::line_bursts(4, 3, 20);
         let serial = GaConfig { workers: 1, ..quick_ga() };
         let parallel = GaConfig { workers: 6, ..quick_ga() };
-        let a = configure_modes(&spec, &w, &serial).unwrap();
-        let b = configure_modes(&spec, &w, &parallel).unwrap();
+        let a = ModeSetup::new(&spec, &w).ga(&serial).run().unwrap();
+        let b = ModeSetup::new(&spec, &w).ga(&parallel).run().unwrap();
         assert_eq!(a.lut, b.lut);
     }
 
@@ -386,8 +446,8 @@ mod tests {
         let w = micro::line_bursts(4, 3, 20);
         let ga = quick_ga();
         let observer = CountReports(Mutex::new(Vec::new()));
-        let observed = configure_modes_observed(&spec, &w, &ga, &observer).unwrap();
-        assert_eq!(observed.lut, configure_modes(&spec, &w, &ga).unwrap().lut);
+        let observed = ModeSetup::new(&spec, &w).ga(&ga).observer(&observer).run().unwrap();
+        assert_eq!(observed.lut, ModeSetup::new(&spec, &w).ga(&ga).run().unwrap().lut);
         let generations = observer.0.into_inner().unwrap();
         // One report per generation per mode, grouped by mode: the sequence
         // restarts from 0 exactly once per mode.

@@ -20,7 +20,7 @@
 //!
 //! The crate provides a reusable, deterministic [`GeneticAlgorithm`] over
 //! bounded integer chromosomes and the CoHoRT-specific [`TimerProblem`] /
-//! [`optimize_timers`] on top of it. The engine breeds each generation
+//! [`GaRun`] driver (with the [`optimize_timers`] shorthand) on top of it. The engine breeds each generation
 //! sequentially from its seed, then scores the offspring batch across
 //! scoped worker threads — **parallel runs are bit-identical to serial
 //! runs** — with a genome-keyed fitness memo, optional early stopping
@@ -60,6 +60,7 @@ pub use checkpoint::{CheckpointFile, GaCheckpoint};
 pub use ga::{GaConfig, GaOutcome, GeneticAlgorithm, Individual, SearchSpace, StopReason};
 pub use observer::{GaObserver, GenerationReport};
 pub use timer_problem::{
-    optimize_timers, solve, solve_observed, solve_seeded, TimerAssignment, TimerProblem,
-    TimerProblemBuilder,
+    optimize_timers, GaRun, TimerAssignment, TimerProblem, TimerProblemBuilder,
 };
+#[allow(deprecated)]
+pub use timer_problem::{solve, solve_observed, solve_seeded};

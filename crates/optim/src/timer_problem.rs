@@ -294,7 +294,134 @@ pub struct TimerAssignment {
     pub fitness: f64,
 }
 
+/// One configured GA run over a [`TimerProblem`] — the single driver
+/// behind every optimizer entry point (the flow of the paper's Fig. 2a).
+///
+/// Build it with [`GaRun::new`], chain the optional pieces, and finish
+/// with [`GaRun::run`] (raw [`GaOutcome`], never fails) or
+/// [`GaRun::run_feasible`] (evaluated [`TimerAssignment`], errors when
+/// the best chromosome still violates a C1 constraint):
+///
+/// ```
+/// use cohort_optim::{GaConfig, GaRun, TimerProblem};
+/// use cohort_trace::micro;
+///
+/// let workload = micro::line_bursts(2, 4, 60);
+/// let problem = TimerProblem::builder(&workload).timed(0, None).timed(1, None).build()?;
+/// let config = GaConfig { population: 12, generations: 6, ..Default::default() };
+/// let outcome = GaRun::new(&problem).config(&config).run();
+/// assert_eq!(outcome.best.len(), problem.timed_cores().len());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// Seed chromosomes added with [`GaRun::seed`] / [`GaRun::seeds`] join
+/// the initial population *after* the engine's corner seeds — the
+/// Mode-Switch LUT flow seeds each mode with the previous mode's solution
+/// so escalated modes refine (rather than rediscover) the normal mode's
+/// timers. Seeds beyond the population capacity are **dropped from the
+/// back** (deliberate, documented truncation — the engine itself errors
+/// on overflow, so the drop here is an explicit policy, not an accident).
+pub struct GaRun<'a, 'w> {
+    problem: &'a TimerProblem<'w>,
+    config: GaConfig,
+    extra_seeds: Vec<Vec<u64>>,
+    observer: Option<&'a dyn GaObserver>,
+}
+
+impl<'a, 'w> GaRun<'a, 'w> {
+    /// Starts a run over `problem` with a default [`GaConfig`], no extra
+    /// seeds and no observer.
+    #[must_use]
+    pub fn new(problem: &'a TimerProblem<'w>) -> Self {
+        GaRun { problem, config: GaConfig::default(), extra_seeds: Vec::new(), observer: None }
+    }
+
+    /// Replaces the engine configuration (population, generations, seed,
+    /// early-stopping policy, …).
+    #[must_use]
+    pub fn config(mut self, config: &GaConfig) -> Self {
+        self.config = config.clone();
+        self
+    }
+
+    /// Appends one seed chromosome to the initial population. Seeds whose
+    /// length does not match the problem's timed-core count are ignored;
+    /// genes are clamped into the search box (a previous mode's θ may
+    /// exceed this mode's saturation bound).
+    #[must_use]
+    pub fn seed(mut self, chromosome: Vec<u64>) -> Self {
+        self.extra_seeds.push(chromosome);
+        self
+    }
+
+    /// Appends several seed chromosomes (see [`GaRun::seed`]).
+    #[must_use]
+    pub fn seeds<I: IntoIterator<Item = Vec<u64>>>(mut self, chromosomes: I) -> Self {
+        self.extra_seeds.extend(chromosomes);
+        self
+    }
+
+    /// Attaches a [`GaObserver`] progress hook (per-generation best
+    /// fitness, evaluation counters and checkpoint opportunities).
+    #[must_use]
+    pub fn observer(mut self, observer: &'a dyn GaObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Runs the GA and returns the raw outcome — used by the convergence
+    /// benches and by callers that want the best-effort infeasible
+    /// solution.
+    #[must_use]
+    pub fn run(self) -> GaOutcome {
+        let ga = GeneticAlgorithm::new(self.problem.search_space(), self.config.clone());
+        // Seed with the extreme corners — all-minimal (tightest WCL) and
+        // all-saturated (most hits) — plus a small uniform heuristic (a
+        // window of a few dozen cycles covers word-granular line bursts,
+        // the dominant source of guaranteed hits), then any caller-provided
+        // chromosomes.
+        let genes = self.problem.timed_cores().len();
+        let minimal = vec![1u64; genes];
+        let saturated = self.problem.theta_saturations().to_vec();
+        let heuristic: Vec<u64> =
+            self.problem.theta_saturations().iter().map(|&s| s.min(24)).collect();
+        let mut seeds = vec![minimal, saturated, heuristic];
+        seeds.extend(self.extra_seeds.iter().filter(|s| s.len() == genes).map(|s| {
+            s.iter()
+                .zip(self.problem.theta_saturations())
+                .map(|(&g, &sat)| g.clamp(1, sat))
+                .collect::<Vec<u64>>()
+        }));
+        seeds.truncate(self.config.population);
+        let observer = self.observer.unwrap_or(&NoGaObserver);
+        ga.run_observed(&seeds, observer, |genes| self.problem.fitness(genes))
+            .expect("corner seeds are in-space and truncated to the population")
+    }
+
+    /// Runs the GA and evaluates the winner into a [`TimerAssignment`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`] if the best solution found still
+    /// violates a C1 constraint — the caller (e.g. the mode controller)
+    /// treats this as "this mode is unschedulable".
+    pub fn run_feasible(self) -> Result<TimerAssignment> {
+        let problem = self.problem;
+        let outcome = self.run();
+        let assignment = problem.evaluate(&outcome.best);
+        if !assignment.feasible {
+            return Err(Error::Infeasible(format!(
+                "best assignment {:?} still violates a WCML requirement",
+                assignment.timers
+            )));
+        }
+        Ok(assignment)
+    }
+}
+
 /// Runs the GA over a [`TimerProblem`] (the flow of the paper's Fig. 2a).
+///
+/// Shorthand for [`GaRun::run_feasible`] with no extra seeds or observer.
 ///
 /// # Errors
 ///
@@ -306,45 +433,37 @@ pub struct TimerAssignment {
 ///
 /// See the crate-level example.
 pub fn optimize_timers(problem: &TimerProblem<'_>, config: &GaConfig) -> Result<TimerAssignment> {
-    let outcome = solve(problem, config);
-    let assignment = problem.evaluate(&outcome.best);
-    if !assignment.feasible {
-        return Err(Error::Infeasible(format!(
-            "best assignment {:?} still violates a WCML requirement",
-            assignment.timers
-        )));
-    }
-    Ok(assignment)
+    GaRun::new(problem).config(config).run_feasible()
 }
 
-/// Like [`optimize_timers`] but returns the raw GA outcome (used by the
-/// convergence benches and by callers that want the best-effort infeasible
-/// solution).
+/// Like [`optimize_timers`] but returns the raw GA outcome.
+#[deprecated(since = "0.2.0", note = "use `GaRun::new(problem).config(config).run()`")]
 #[must_use]
 pub fn solve(problem: &TimerProblem<'_>, config: &GaConfig) -> GaOutcome {
-    solve_seeded(problem, config, &[])
+    GaRun::new(problem).config(config).run()
 }
 
-/// [`solve`] with additional seed chromosomes injected into the initial
-/// population — the Mode-Switch LUT flow seeds each mode with the previous
-/// mode's solution so escalated modes refine (rather than rediscover) the
-/// normal mode's timers.
-///
-/// The engine's corner seeds take priority; `extra_seeds` beyond the
-/// population capacity are **dropped from the back** (deliberate,
-/// documented truncation — the engine itself errors on overflow, so the
-/// drop here is an explicit policy, not an accident).
+/// [`GaRun::run`] with additional seed chromosomes injected into the
+/// initial population.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `GaRun::new(problem).config(config).seeds(extra_seeds).run()`"
+)]
 #[must_use]
 pub fn solve_seeded(
     problem: &TimerProblem<'_>,
     config: &GaConfig,
     extra_seeds: &[Vec<u64>],
 ) -> GaOutcome {
-    solve_observed(problem, config, extra_seeds, &NoGaObserver)
+    GaRun::new(problem).config(config).seeds(extra_seeds.to_vec()).run()
 }
 
-/// [`solve_seeded`] with a [`GaObserver`] progress hook (per-generation
-/// best fitness, evaluation counters and checkpoint opportunities).
+/// [`GaRun::run`] with seed chromosomes and a [`GaObserver`] progress
+/// hook.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `GaRun::new(problem).config(config).seeds(extra_seeds).observer(observer).run()`"
+)]
 #[must_use]
 pub fn solve_observed(
     problem: &TimerProblem<'_>,
@@ -352,29 +471,10 @@ pub fn solve_observed(
     extra_seeds: &[Vec<u64>],
     observer: &dyn GaObserver,
 ) -> GaOutcome {
-    let ga = GeneticAlgorithm::new(problem.search_space(), config.clone());
-    // Seed with the extreme corners — all-minimal (tightest WCL) and
-    // all-saturated (most hits) — plus a small uniform heuristic (a window
-    // of a few dozen cycles covers word-granular line bursts, the dominant
-    // source of guaranteed hits), then any caller-provided chromosomes
-    // (clamped into the search box: a previous mode's θ may exceed this
-    // mode's saturation bound).
-    let minimal = vec![1u64; problem.timed_cores().len()];
-    let saturated = problem.theta_saturations().to_vec();
-    let heuristic: Vec<u64> = problem.theta_saturations().iter().map(|&s| s.min(24)).collect();
-    let mut seeds = vec![minimal, saturated, heuristic];
-    seeds.extend(extra_seeds.iter().filter(|s| s.len() == problem.timed_cores().len()).map(|s| {
-        s.iter()
-            .zip(problem.theta_saturations())
-            .map(|(&g, &sat)| g.clamp(1, sat))
-            .collect::<Vec<u64>>()
-    }));
-    seeds.truncate(config.population);
-    ga.run_observed(&seeds, observer, |genes| problem.fitness(genes))
-        .expect("corner seeds are in-space and truncated to the population")
+    GaRun::new(problem).config(config).seeds(extra_seeds.to_vec()).observer(observer).run()
 }
 
-/// The do-nothing observer behind [`solve`].
+/// The do-nothing observer behind a [`GaRun`] with no explicit observer.
 struct NoGaObserver;
 
 impl GaObserver for NoGaObserver {}
@@ -461,8 +561,8 @@ mod tests {
         let w = bursts();
         let problem = TimerProblem::builder(&w).timed(0, None).timed(1, None).build().unwrap();
         let config = GaConfig { population: 12, generations: 6, ..Default::default() };
-        let a = solve(&problem, &config);
-        let b = solve(&problem, &config);
+        let a = GaRun::new(&problem).config(&config).run();
+        let b = GaRun::new(&problem).config(&config).run();
         assert_eq!(a, b);
     }
 

@@ -216,13 +216,11 @@ fn timer_solve_is_identical_serial_and_parallel() {
         .timed(1, None)
         .build()
         .unwrap();
-    let serial = cohort_optim::solve(
-        &problem,
-        &GaConfig { population: 12, generations: 8, workers: 1, ..Default::default() },
-    );
-    let parallel = cohort_optim::solve(
-        &problem,
-        &GaConfig { population: 12, generations: 8, workers: 6, ..Default::default() },
-    );
+    let serial = cohort_optim::GaRun::new(&problem)
+        .config(&GaConfig { population: 12, generations: 8, workers: 1, ..Default::default() })
+        .run();
+    let parallel = cohort_optim::GaRun::new(&problem)
+        .config(&GaConfig { population: 12, generations: 8, workers: 6, ..Default::default() })
+        .run();
     assert_eq!(serial, parallel);
 }

@@ -2,7 +2,7 @@
 //! simulator at scale. Prints the worst margin seen; exits non-zero output
 //! on a violation.
 use cohort_sim::{
-    ArbiterKind, CacheGeometry, DataPath, LlcModel, ProtocolFlavor, SimConfig, Simulator,
+    ArbiterKind, CacheGeometry, DataPath, LlcModel, ProtocolFlavor, SimBuilder, SimConfig,
 };
 use cohort_trace::{AccessKind, Trace, TraceOp, Workload};
 use cohort_types::{Cycles, LineAddr, TimerValue};
@@ -65,7 +65,7 @@ fn main() {
                     .flavor(flavor)
                     .build()
                     .unwrap();
-                let stats = Simulator::new(config, &w).unwrap().run().unwrap();
+                let stats = SimBuilder::new(config, &w).build().unwrap().run().unwrap();
                 for i in 0..cores {
                     let theta_terms: u64 = (0..cores)
                         .filter(|&j| j != i)
@@ -85,7 +85,7 @@ fn main() {
                 // PCC
                 let config =
                     SimConfig::builder(cores).data_path(DataPath::ViaSharedMemory).build().unwrap();
-                let stats = Simulator::new(config, &w).unwrap().run().unwrap();
+                let stats = SimBuilder::new(config, &w).build().unwrap().run().unwrap();
                 let staged = lat.request.get() + 2 * lat.data.get();
                 let bound = 2 * staged + (cores as u64 - 1) * 2 * lat.data.get();
                 for i in 0..cores {
@@ -118,7 +118,7 @@ fn main() {
                     .latency(cohort_types::LatencyConfig::paper().with_memory(memory))
                     .build()
                     .unwrap();
-                let stats = Simulator::new(config, &w).unwrap().run().unwrap();
+                let stats = SimBuilder::new(config, &w).build().unwrap().run().unwrap();
                 let sw_eff = sw + memory;
                 let period = sw_eff * n_cr as u64;
                 let bound = period

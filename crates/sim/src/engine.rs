@@ -20,6 +20,13 @@
 //! end, timer release, TDM slot boundary, scheduled mode switch), which is
 //! observationally identical to stepping every cycle because all state
 //! changes are computed from absolute cycle stamps.
+//!
+//! Two drivers can advance that clock (see [`EngineKind`] and the
+//! [`crate::sched`] module docs): the default discrete-event engine
+//! dispatches only the components whose wake entries are due, while the
+//! legacy cycle-round engine re-runs the full round at every visited
+//! instant. Both produce bit-identical event streams and statistics;
+//! select one with [`SimBuilder::engine`].
 
 use std::collections::{BTreeMap, HashSet};
 
@@ -33,6 +40,7 @@ use crate::core_model::{CoreModel, MshrEntry};
 use crate::event::{EventKind, InvalidateCause};
 use crate::fault::{FaultKind, FaultPlan, FaultState, InjectedFault};
 use crate::probe::{BusTenure, NoProbe, SimProbe, TenureKind};
+use crate::sched::{EngineKind, EventSched, WakeSource};
 use crate::timer::release_time;
 use crate::{CoreStats, DataPath, LlcModel, ProtocolFlavor, SimConfig, SimStats};
 
@@ -122,12 +130,100 @@ pub struct Simulator<P: SimProbe = NoProbe> {
     lines_with_waiters: HashSet<LineAddr>,
     last_progress: Cycles,
     faults: FaultState,
+    engine: EngineKind,
+    sched: EventSched,
+    cand_buf: Vec<Option<Candidate>>,
 }
 
 /// Cycles without observable progress after which [`Simulator::run`]
 /// reports a deadlock instead of spinning (a defensive bound well above any
 /// legal stall: max θ is 65 535 and slots are tens of cycles).
 const WATCHDOG: u64 = 2_000_000;
+
+/// Builder for [`Simulator`] — the driver-facing construction surface.
+///
+/// Collects the configuration, workload, probe, fault plan and engine
+/// selection, then [`SimBuilder::build`]s the simulator:
+///
+/// ```
+/// use cohort_sim::{EngineKind, FaultPlan, MetricsProbe, SimBuilder, SimConfig};
+/// use cohort_trace::micro;
+///
+/// let config = SimConfig::builder(2).build()?;
+/// let workload = micro::ping_pong(2, 4);
+/// let mut sim = SimBuilder::new(config, &workload)
+///     .probe(MetricsProbe::new())
+///     .faults(FaultPlan::empty())
+///     .engine(EngineKind::EventDriven)
+///     .build()?;
+/// sim.run()?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct SimBuilder<'w, P: SimProbe = NoProbe> {
+    config: SimConfig,
+    workload: &'w Workload,
+    probe: P,
+    faults: FaultPlan,
+    engine: EngineKind,
+}
+
+impl<'w> SimBuilder<'w, NoProbe> {
+    /// Starts a builder for `workload` under `config`, with no probe, no
+    /// faults and the default (event-driven) engine.
+    #[must_use]
+    pub fn new(config: SimConfig, workload: &'w Workload) -> Self {
+        SimBuilder {
+            config,
+            workload,
+            probe: NoProbe,
+            faults: FaultPlan::empty(),
+            engine: EngineKind::default(),
+        }
+    }
+}
+
+impl<'w, P: SimProbe> SimBuilder<'w, P> {
+    /// Attaches a probe (by value, or `&mut probe` to keep ownership at the
+    /// call site), replacing any previously attached one.
+    #[must_use]
+    pub fn probe<Q: SimProbe>(self, probe: Q) -> SimBuilder<'w, Q> {
+        SimBuilder {
+            config: self.config,
+            workload: self.workload,
+            probe,
+            faults: self.faults,
+            engine: self.engine,
+        }
+    }
+
+    /// Injects `plan`'s faults during the run. The empty plan is the
+    /// bit-identity baseline.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Selects the engine that advances the clock (default:
+    /// [`EngineKind::EventDriven`]).
+    #[must_use]
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = kind;
+        self
+    }
+
+    /// Builds the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the workload's core count does
+    /// not match the configuration or the fault plan targets an
+    /// out-of-range core.
+    pub fn build(self) -> Result<Simulator<P>> {
+        Simulator::build_inner(self.config, self.workload, self.probe, self.faults, self.engine)
+    }
+}
 
 impl Simulator {
     /// Creates an uninstrumented simulator for `workload` under `config`.
@@ -149,6 +245,12 @@ impl Simulator {
     /// core.
     pub fn with_faults(config: SimConfig, workload: &Workload, plan: FaultPlan) -> Result<Self> {
         Simulator::with_probe_and_faults(config, workload, NoProbe, plan)
+    }
+
+    /// Starts a [`SimBuilder`] — equivalent to [`SimBuilder::new`].
+    #[must_use]
+    pub fn builder(config: SimConfig, workload: &Workload) -> SimBuilder<'_, NoProbe> {
+        SimBuilder::new(config, workload)
     }
 }
 
@@ -180,8 +282,18 @@ impl<P: SimProbe> Simulator<P> {
     pub fn with_probe_and_faults(
         config: SimConfig,
         workload: &Workload,
+        probe: P,
+        plan: FaultPlan,
+    ) -> Result<Self> {
+        Simulator::build_inner(config, workload, probe, plan, EngineKind::default())
+    }
+
+    fn build_inner(
+        config: SimConfig,
+        workload: &Workload,
         mut probe: P,
         plan: FaultPlan,
+        engine: EngineKind,
     ) -> Result<Self> {
         if let Some(bad) = plan.specs().iter().find(|s| s.core >= config.cores()) {
             return Err(Error::InvalidConfig(format!(
@@ -233,8 +345,17 @@ impl<P: SimProbe> Simulator<P> {
             last_progress: Cycles::ZERO,
             now: Cycles::ZERO,
             faults: FaultState::new(plan),
+            engine,
+            sched: EventSched::default(),
+            cand_buf: Vec::new(),
             config,
         })
+    }
+
+    /// The engine kind selected at build time.
+    #[must_use]
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine
     }
 
     /// The fault plan the simulator was built with (empty by default).
@@ -356,6 +477,9 @@ impl<P: SimProbe> Simulator<P> {
             )));
         }
         self.switches.insert(at.get(), timers);
+        if self.sched.arming {
+            self.sched.arm(at.get(), WakeSource::Switch);
+        }
         Ok(())
     }
 
@@ -363,34 +487,264 @@ impl<P: SimProbe> Simulator<P> {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidConfig`] if the engine detects a deadlock
-    /// (no progress for a defensive number of cycles) — this indicates an
-    /// engine bug or a pathological configuration, never a legal run.
+    /// Returns [`Error::Deadlock`] if the engine detects no progress for a
+    /// defensive number of cycles — this indicates an engine bug or a
+    /// pathological configuration, never a legal run.
     pub fn run(&mut self) -> Result<SimStats> {
         self.run_until(Cycles::new(u64::MAX))?;
         Ok(self.stats.clone())
     }
 
-    /// Runs until `deadline` (exclusive) or completion, whichever is first.
+    /// Runs until `deadline` (exclusive) or completion, whichever is
+    /// first, under the engine selected at build time.
     ///
     /// # Errors
     ///
     /// Same as [`Simulator::run`].
     pub fn run_until(&mut self, deadline: Cycles) -> Result<()> {
+        match self.engine {
+            EngineKind::CycleRound => self.run_until_cycle_rounds(deadline),
+            EngineKind::EventDriven => self.run_until_events(deadline),
+        }
+    }
+
+    /// The legacy driver: a full scheduling round over every component at
+    /// every visited instant, with the next instant re-derived by scanning
+    /// ([`Simulator::next_event`]).
+    pub(crate) fn run_until_cycle_rounds(&mut self, deadline: Cycles) -> Result<()> {
         while !self.is_finished() && self.now < deadline {
             self.step();
             if self.is_finished() {
                 break;
             }
             if self.now.get().saturating_sub(self.last_progress.get()) > WATCHDOG {
-                return Err(Error::InvalidConfig(format!(
-                    "simulator made no progress for {WATCHDOG} cycles (cycle {}) — deadlock",
-                    self.now
-                )));
+                return Err(Error::Deadlock { cycle: self.now.get() });
             }
             let next = self.next_event(deadline);
             self.now = next.max(Cycles::new(self.now.get() + 1)).min(deadline);
         }
+        self.finish_run(deadline);
+        Ok(())
+    }
+
+    /// The discrete-event driver: simulated time jumps straight to the
+    /// earliest pending wake entry and only the due components dispatch
+    /// (see the [`crate::sched`] module docs for the wake-source
+    /// enumeration and the bit-identity argument).
+    pub(crate) fn run_until_events(&mut self, deadline: Cycles) -> Result<()> {
+        if !self.sched.primed {
+            self.prime_sched();
+        }
+        // The first dispatch of every `run_until` call re-visits the
+        // current instant unconditionally, exactly like the legacy loop
+        // unconditionally steps on entry (a re-visited instant is a no-op
+        // for every already-processed component).
+        let mut entry = true;
+        while !self.is_finished() && self.now < deadline {
+            self.dispatch_instant(entry);
+            entry = false;
+            if self.is_finished() {
+                break;
+            }
+            if self.now.get().saturating_sub(self.last_progress.get()) > WATCHDOG {
+                return Err(Error::Deadlock { cycle: self.now.get() });
+            }
+            let Some(next) = self.sched.next_wake_at() else {
+                // No wake source left: the legacy scan would find nothing
+                // and jump to the deadline.
+                self.now = deadline;
+                break;
+            };
+            if next >= deadline.get() {
+                self.now = deadline;
+                break;
+            }
+            self.now = Cycles::new(next.max(self.now.get() + 1)).min(deadline);
+        }
+        self.finish_run(deadline);
+        Ok(())
+    }
+
+    /// Arms the initial wake set from the pristine machine state: every
+    /// core's first `ready_at`, every scheduled switch, and the earliest
+    /// fault activation. Everything else (transactions, releases, TDM
+    /// boundaries) is armed by the phases as state comes alive.
+    fn prime_sched(&mut self) {
+        self.sched.primed = true;
+        self.sched.arming = true;
+        let now = self.now.get();
+        for id in 0..self.cores.len() {
+            let ready = self.cores[id].ready_at.get();
+            self.sched.arm_core(now, id, ready);
+        }
+        for &at in self.switches.keys() {
+            self.sched.arm(at, WakeSource::Switch);
+        }
+        if let Some(at) = self.faults.next_activation() {
+            self.sched.arm_fault(at.get());
+        }
+    }
+
+    /// Dispatches the current instant: pops the due wake entries and runs
+    /// the affected components in the legacy round order (switches →
+    /// faults → transaction completion → cores in id order → releases and
+    /// arbitration).
+    fn dispatch_instant(&mut self, entry: bool) {
+        let t = self.now;
+        // Whether a due step fault may attempt injection at this instant is
+        // decided against the pre-dispatch state — the same state the
+        // legacy scan used when it chose to visit (or skip) this instant.
+        // The legacy loop attempts due faults at every instant it visits,
+        // so attempts must happen exactly at the legacy-visited instants.
+        let fault_attempt_here = !self.faults.is_empty()
+            && self.faults.has_due_step_fault(t)
+            && (entry || self.is_real_instant(t));
+        let (mut due_cores, _due_fault, due_slot) = self.sched.pop_due(t.get());
+        due_cores |= std::mem::take(&mut self.sched.carry_cores);
+        let mut arb = false;
+        let mut recompute_releases = false;
+
+        // 1. Scheduled timer switches.
+        if self.switches.first_key_value().is_some_and(|(&at, _)| at <= t.get()) {
+            self.apply_switches();
+            recompute_releases = true;
+            arb = true;
+        }
+
+        // 2. Step faults. A new activation instant is real via the armed
+        // Fault wake (`next_activation() == t` makes `is_real_instant`
+        // true); failed attempts retry at every later real instant until
+        // they land, exactly like the legacy loop.
+        if fault_attempt_here {
+            let fired = self.apply_faults();
+            if fired > 0 {
+                recompute_releases = true;
+                arb = true;
+            }
+        }
+
+        // 3. Bus-transaction completion (un-stalled cores join this
+        // instant's core phase via the carry mask).
+        if self.txn.is_some_and(|txn| txn.ends <= t) {
+            self.complete_txn_if_due();
+            recompute_releases = true;
+            arb = true;
+        }
+        due_cores |= std::mem::take(&mut self.sched.carry_cores);
+
+        // 4. Cores, ascending id — the legacy `step_cores` order.
+        let mut mask = due_cores;
+        while mask != 0 {
+            let id = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            self.step_core(id);
+        }
+        arb |= std::mem::take(&mut self.sched.flag_arb);
+
+        // 5. Release re-arming and arbitration, only while the bus idles
+        // (the legacy scan likewise ignores releases mid-tenure; the
+        // completion that frees the bus re-derives every waiting line).
+        if self.txn.is_none() {
+            if recompute_releases {
+                self.sched.dirty_lines.clear();
+                let lines: Vec<LineAddr> = self.lines_with_waiters.iter().copied().collect();
+                for line in lines {
+                    arb |= self.rearm_release(line, t);
+                }
+            } else if !self.sched.dirty_lines.is_empty() {
+                let lines = std::mem::take(&mut self.sched.dirty_lines);
+                for line in &lines {
+                    arb |= self.rearm_release(*line, t);
+                }
+                self.sched.dirty_lines = lines;
+                self.sched.dirty_lines.clear();
+            }
+            if arb || due_slot {
+                self.try_start_txn();
+            }
+        } else {
+            self.sched.dirty_lines.clear();
+        }
+
+        // 6. While the bus idles under TDM, the next slot boundary is a
+        // grant opportunity (and a visited instant) regardless of whether
+        // any candidate exists — mirroring the legacy scan.
+        if self.txn.is_none() {
+            let opportunity = self.arbiter.next_grant_opportunity(t);
+            if opportunity > t {
+                self.sched.arm_slot(opportunity.get());
+            }
+        }
+
+        // 7. Keep the fault-activation chain armed: a firing anywhere in
+        // this instant (step faults above, bus faults at grant time inside
+        // `try_start_txn`) advances the next pending activation.
+        if !self.faults.is_empty() {
+            if let Some(at) = self.faults.next_activation() {
+                if at > t {
+                    self.sched.arm_fault(at.get());
+                }
+            }
+        }
+    }
+
+    /// Re-derives the head-release instant of `line` and re-arms its wake.
+    /// Returns `true` when the release has already passed — the head waiter
+    /// may have become a ready receive candidate, so arbitration should be
+    /// attempted at this instant.
+    fn rearm_release(&mut self, line: LineAddr, t: Cycles) -> bool {
+        if !self.lines_with_waiters.contains(&line) {
+            return false;
+        }
+        match self.head_release_instant(line) {
+            None => false,
+            Some(release) if release <= t => true,
+            Some(release) => {
+                self.sched.arm(release.get(), WakeSource::Release(line));
+                false
+            }
+        }
+    }
+
+    /// Whether the legacy engine would visit instant `t` given the current
+    /// (pre-dispatch) state — i.e. whether some wake source is genuinely
+    /// due rather than stale. Only consulted while a retryable fault is
+    /// pending, because fault retries are the one activity whose effects
+    /// depend on the visited-instant set itself.
+    fn is_real_instant(&self, t: Cycles) -> bool {
+        if self.txn.is_some_and(|txn| txn.ends == t) {
+            return true;
+        }
+        if self.switches.first_key_value().is_some_and(|(&at, _)| at == t.get()) {
+            return true;
+        }
+        if self.faults.next_activation() == Some(t) {
+            return true;
+        }
+        if self.cores.iter().any(|c| c.finish.is_none() && !c.stalled && c.ready_at == t) {
+            return true;
+        }
+        if self.txn.is_none() {
+            // A TDM slot boundary is a visited instant while the bus idles.
+            let tdm = self.arbiter.next_grant_opportunity(t) > t;
+            if tdm
+                && (t.get() == 0
+                    || self.arbiter.next_grant_opportunity(Cycles::new(t.get() - 1)) == t)
+            {
+                return true;
+            }
+            for &line in &self.lines_with_waiters {
+                if self.head_release_instant(line) == Some(t) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Shared run epilogue: clamp the cycle count and notify the probe
+    /// once the run finishes.
+    fn finish_run(&mut self, deadline: Cycles) {
         self.stats.cycles =
             self.stats.cycles.max(self.now.min(deadline)).max(self.stats.execution_time());
         if self.is_finished() && !self.finish_notified {
@@ -399,14 +753,13 @@ impl<P: SimProbe> Simulator<P> {
                 self.probe.on_finish(&self.stats);
             }
         }
-        Ok(())
     }
 
     /// One scheduling round at the current cycle.
     fn step(&mut self) {
         self.apply_switches();
         if !self.faults.is_empty() {
-            self.apply_faults();
+            let _ = self.apply_faults();
         }
         self.complete_txn_if_due();
         self.step_cores();
@@ -418,7 +771,9 @@ impl<P: SimProbe> Simulator<P> {
     /// Applies every armed step fault (timer, cache and core faults; bus
     /// faults fire at grant time in [`Simulator::try_start_txn`]). Faults
     /// that find no applicable target this step stay armed and retry.
-    fn apply_faults(&mut self) {
+    /// Returns the number that fired, for the event engine's re-arming.
+    fn apply_faults(&mut self) -> usize {
+        let mut fired_count = 0;
         for (index, spec) in self.faults.due_step_faults(self.now) {
             let fired = match spec.kind {
                 // Window faults act purely through `holder_release`; firing
@@ -433,6 +788,10 @@ impl<P: SimProbe> Simulator<P> {
                 FaultKind::CoreStall { cycles } => {
                     let core = &mut self.cores[spec.core];
                     core.ready_at = core.ready_at.max(self.now + Cycles::new(cycles));
+                    let ready = core.ready_at.get();
+                    if self.sched.arming {
+                        self.sched.arm_core(self.now.get(), spec.core, ready);
+                    }
                     true
                 }
                 FaultKind::LineCorruption => self.corrupt_line(spec.core),
@@ -443,8 +802,10 @@ impl<P: SimProbe> Simulator<P> {
             };
             if fired {
                 self.faults.mark_fired(index, self.now);
+                fired_count += 1;
             }
         }
+        fired_count
     }
 
     /// Flips the first quiescent Shared line in `core`'s L1 to Modified
@@ -574,6 +935,10 @@ impl<P: SimProbe> Simulator<P> {
                 core.last_completion = completion;
                 let next_gap = core.current_op().map_or(Cycles::ZERO, |o| o.gap);
                 core.ready_at = completion + next_gap;
+                let ready = core.ready_at.get();
+                if self.sched.arming {
+                    self.sched.arm_core(self.now.get(), id, ready);
+                }
                 let stats = &mut self.stats.cores[id];
                 stats.hits += 1;
                 stats.total_latency += hit_latency;
@@ -608,6 +973,18 @@ impl<P: SimProbe> Simulator<P> {
                 // continues with subsequent accesses (hits-over-misses).
                 let next_gap = core.current_op().map_or(Cycles::ZERO, |o| o.gap);
                 core.ready_at = self.now + Cycles::new(1) + next_gap;
+                let ready = core.ready_at.get();
+                if self.sched.arming {
+                    self.sched.arm_core(self.now.get(), id, ready);
+                    // A fresh request may start a transaction, and adding a
+                    // waiter to a held line can pull its release earlier
+                    // (the effective timer drops to the MSI floor for
+                    // same-level requests); flag both re-checks.
+                    self.sched.flag_arb = true;
+                    if self.lines_with_waiters.contains(&op.line) {
+                        self.sched.dirty_lines.push(op.line);
+                    }
+                }
                 if P::ACTIVE {
                     self.probe.on_event(
                         self.now,
@@ -669,11 +1046,7 @@ impl<P: SimProbe> Simulator<P> {
 
     // ----- bus side -------------------------------------------------------
 
-    /// Builds each core's arbitration candidate at the current cycle.
-    fn candidates(&self) -> Vec<Option<Candidate>> {
-        (0..self.cores.len()).map(|id| self.candidate(id)).collect()
-    }
-
+    /// Builds one core's arbitration candidate at the current cycle.
     fn candidate(&self, id: usize) -> Option<Candidate> {
         let core = &self.cores[id];
         // A ready data response for any broadcast request (oldest first).
@@ -780,8 +1153,16 @@ impl<P: SimProbe> Simulator<P> {
         if self.txn.is_some() {
             return;
         }
-        let candidates = self.candidates();
-        let Some(granted) = self.arbiter.grant(self.now, &candidates) else { return };
+        // One scratch allocation reused across grants; the per-attempt
+        // candidate `Vec` dominated the allocator profile on sparse
+        // workloads where most attempts grant nothing.
+        let mut candidates = std::mem::take(&mut self.cand_buf);
+        candidates.clear();
+        candidates.extend((0..self.cores.len()).map(|id| self.candidate(id)));
+        let Some(granted) = self.arbiter.grant(self.now, &candidates) else {
+            self.cand_buf = candidates;
+            return;
+        };
         let cand = candidates[granted].expect("granted core has a candidate");
         self.arbiter.on_grant(granted);
         if P::ACTIVE {
@@ -793,6 +1174,7 @@ impl<P: SimProbe> Simulator<P> {
                 .collect();
             self.probe.on_arbitration(self.now, granted, &stalled);
         }
+        self.cand_buf = candidates;
         let dropped = !self.faults.is_empty()
             && cand.kind == CandidateKind::Broadcast
             && self.faults.take_bus_drop(self.now, granted);
@@ -824,6 +1206,11 @@ impl<P: SimProbe> Simulator<P> {
                     txn.ends += extra;
                 }
                 self.stats.bus_busy += extra;
+            }
+        }
+        if self.sched.arming {
+            if let Some(txn) = &self.txn {
+                self.sched.arm_txn(self.now.get(), txn.ends.get());
             }
         }
         self.last_progress = self.now;
@@ -1091,6 +1478,10 @@ impl<P: SimProbe> Simulator<P> {
         core.last_completion = ends;
         core.stalled = false;
         core.ready_at = core.ready_at.max(ends);
+        let ready = core.ready_at.get();
+        if self.sched.arming {
+            self.sched.arm_core(self.now.get(), to, ready);
+        }
         if P::ACTIVE {
             self.probe
                 .on_event(ends, &EventKind::Fill { core: to, line, kind: waiter.kind, latency });

@@ -310,6 +310,21 @@ impl FaultState {
             .min()
     }
 
+    /// `true` when some unfired step fault is armed at or before `now`.
+    /// The legacy loop attempts these at every instant it visits, so the
+    /// event engine must attempt them at every instant the legacy scan
+    /// would visit.
+    pub(crate) fn has_due_step_fault(&self, now: Cycles) -> bool {
+        self.plan.specs.iter().zip(&self.fired).any(|(s, &fired)| {
+            !fired
+                && s.at <= now
+                && !matches!(
+                    s.kind,
+                    FaultKind::BusDrop | FaultKind::BusDuplicate | FaultKind::BusDelay { .. }
+                )
+        })
+    }
+
     /// Armed, unfired faults the engine applies from its step loop
     /// (everything except the bus faults, which fire at grant time).
     pub(crate) fn due_step_faults(&self, now: Cycles) -> Vec<(usize, FaultSpec)> {

@@ -60,6 +60,7 @@ mod fault;
 mod invariant;
 mod metrics;
 mod probe;
+mod sched;
 mod stats;
 mod timeline;
 mod timer;
@@ -72,12 +73,16 @@ pub use coherence::{CoherenceMap, LineCoh, Owner, ReqKind, Waiter};
 pub use config::{
     ArbiterKind, CacheGeometry, DataPath, LlcModel, ProtocolFlavor, SimConfig, SimConfigBuilder,
 };
-pub use engine::Simulator;
+pub use engine::{SimBuilder, Simulator};
 pub use event::{Event, EventKind, EventLogProbe, InvalidateCause};
 pub use fault::{FaultKind, FaultPlan, FaultSpec, InjectedFault};
 pub use invariant::{InvariantKind, InvariantProbe, InvariantViolation};
 pub use metrics::{CoreMetrics, LatencyHistogram, MetricsProbe, MetricsReport};
 pub use probe::{BusTenure, NoProbe, SimProbe, TenureKind};
+pub use sched::{
+    compare_engines, diff_event_logs, CycleRoundEngine, Engine, EngineComparison, EngineDivergence,
+    EngineKind, EventDrivenEngine,
+};
 pub use stats::{CoreStats, SimStats};
 pub use timeline::{render_timeline, TimelineOptions};
 pub use timer::{release_time, CountdownCounter};

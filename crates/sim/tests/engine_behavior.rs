@@ -190,7 +190,7 @@ fn rrof_example_operation_figure4() {
 fn tdm_produces_idle_slots() {
     // Same workload under RROF and TDM: TDM's slot alignment can only slow
     // things down (PENDULUM's performance penalty in Figure 6).
-    let w = micro::random_shared(2, 16, 200, 0.5, 5);
+    let w = micro::random_shared(2, 16, 200, 0.5, 7);
     let rrof = run(SimConfig::builder(2).build().unwrap(), &w);
     let tdm = run(
         SimConfig::builder(2)

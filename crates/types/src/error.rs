@@ -53,6 +53,14 @@ pub enum Error {
     /// the sweep engine when a caller collapses isolated per-job failures
     /// back into a single `Result`.
     JobPanicked(String),
+    /// The simulation engine made no observable progress for its defensive
+    /// watchdog window — an engine bug or a pathological configuration,
+    /// never a legal run. Watchdog and chaos harnesses match on this
+    /// variant to distinguish a wedged engine from a rejected input.
+    Deadlock {
+        /// The cycle at which the watchdog gave up.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -71,6 +79,9 @@ impl fmt::Display for Error {
             Error::Codec(msg) => write!(f, "trace codec error: {msg}"),
             Error::Infeasible(msg) => write!(f, "no feasible timer configuration: {msg}"),
             Error::JobPanicked(msg) => write!(f, "job panicked: {msg}"),
+            Error::Deadlock { cycle } => {
+                write!(f, "simulator made no observable progress (deadlock at cycle {cycle})")
+            }
         }
     }
 }
@@ -91,6 +102,7 @@ mod tests {
             Error::Codec("truncated input".into()),
             Error::Infeasible("core 0 requirement too tight".into()),
             Error::JobPanicked("index out of bounds".into()),
+            Error::Deadlock { cycle: 2_000_001 },
         ];
         for err in cases {
             let s = err.to_string();

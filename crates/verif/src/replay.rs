@@ -17,7 +17,7 @@
 //! bug the mutation injected, and the probe + validator confirm it.
 
 use cohort_sim::{
-    InvariantProbe, InvariantViolation, SimConfig, SimStats, Simulator, WcmlViolation,
+    InvariantProbe, InvariantViolation, SimBuilder, SimConfig, SimStats, WcmlViolation,
 };
 use cohort_trace::{Trace, TraceOp, Workload};
 use cohort_types::{Cycles, Result, TimerValue};
@@ -178,7 +178,7 @@ pub fn workload_from_violation(workload: &Workload, violation: &WcmlViolation) -
 /// mid-run (never for invariant violations — those are reported in the
 /// [`ReplayOutcome`]).
 pub fn replay_workload(sim_cfg: SimConfig, workload: &Workload) -> Result<ReplayOutcome> {
-    let mut sim = Simulator::with_probe(sim_cfg, workload, InvariantProbe::new())?;
+    let mut sim = SimBuilder::new(sim_cfg, workload).probe(InvariantProbe::new()).build()?;
 
     let mut engine_state: core::result::Result<(), String> = Ok(());
     while !sim.is_finished() {
@@ -299,7 +299,10 @@ mod tests {
             core: 1,
             at: Cycles::new(10),
         }]);
-        let mut sim = Simulator::with_probe_and_faults(config(), &workload, WcmlGuard::new(), plan)
+        let mut sim = SimBuilder::new(config(), &workload)
+            .probe(WcmlGuard::new())
+            .faults(plan)
+            .build()
             .expect("valid faulted sim");
         sim.run().expect("faulted run completes");
         let stats = sim.stats().clone();

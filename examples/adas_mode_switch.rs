@@ -9,7 +9,7 @@
 //! cargo run --release --example adas_mode_switch
 //! ```
 
-use cohort::{configure_modes, ModeController, ModeDecision, Protocol, SystemSpec};
+use cohort::{ModeController, ModeDecision, ModeSetup, Protocol, SystemSpec};
 use cohort_optim::GaConfig;
 use cohort_trace::{Kernel, KernelSpec};
 use cohort_types::{CoreId, Criticality, Cycles};
@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Offline (Fig. 2a): one GA run per mode fills the Mode-Switch LUT.
     let ga = GaConfig { population: 16, generations: 10, ..Default::default() };
-    let config = configure_modes(&spec, &workload, &ga)?;
+    let config = ModeSetup::new(&spec, &workload).ga(&ga).run()?;
     println!("Mode-Switch LUT (θ per core; -1 = degraded to MSI):");
     for entry in &config.entries {
         let row: Vec<String> = entry.timers.iter().map(ToString::to_string).collect();

@@ -5,7 +5,7 @@
 //! cargo run --release --example tradeoff_fig1
 //! ```
 
-use cohort_sim::{EventKind, EventLogProbe, SimConfig, Simulator};
+use cohort_sim::{EventKind, EventLogProbe, SimBuilder, SimConfig};
 use cohort_trace::micro;
 use cohort_types::TimerValue;
 
@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         [("snoop-based", TimerValue::MSI), ("time-based", TimerValue::timed(200)?)]
     {
         let config = SimConfig::builder(2).timer(0, timer).build()?;
-        let mut sim = Simulator::with_probe(config, &workload, EventLogProbe::new())?;
+        let mut sim = SimBuilder::new(config, &workload).probe(EventLogProbe::new()).build()?;
         let stats = sim.run()?;
         let c1_fill = sim
             .probe()

@@ -3,7 +3,7 @@
 //! chain and the MSI core's immediate hand-over.
 
 use cohort::{Protocol, SystemSpec};
-use cohort_sim::{EventKind, EventLogProbe, Simulator};
+use cohort_sim::{EventKind, EventLogProbe, SimBuilder};
 use cohort_trace::micro;
 use cohort_types::{Criticality, TimerValue};
 
@@ -29,7 +29,7 @@ fn figure4_chain_orders_and_delays() {
         cohort_sim::SimConfig::builder(4).timers(config.timers().to_vec()).build().unwrap();
 
     let workload = micro::figure4();
-    let mut sim = Simulator::with_probe(config, &workload, EventLogProbe::new()).unwrap();
+    let mut sim = SimBuilder::new(config, &workload).probe(EventLogProbe::new()).build().unwrap();
     sim.run().unwrap();
     sim.validate_coherence().unwrap();
 

@@ -2,9 +2,9 @@
 //! run-time controller, and the hardware timer-register switch in the
 //! simulator all compose.
 
-use cohort::{configure_modes, ModeController, ModeDecision, Protocol, SystemSpec};
+use cohort::{ModeController, ModeDecision, ModeSetup, Protocol, SystemSpec};
 use cohort_optim::GaConfig;
-use cohort_sim::Simulator;
+use cohort_sim::SimBuilder;
 use cohort_trace::{Kernel, KernelSpec};
 use cohort_types::{CoreId, Criticality, Cycles, Mode};
 
@@ -26,7 +26,7 @@ fn quick_ga() -> GaConfig {
 fn figure7_narrative_reproduces() {
     let spec = paper_spec();
     let workload = KernelSpec::new(Kernel::Fft, 4).with_total_requests(4_000).generate();
-    let config = configure_modes(&spec, &workload, &quick_ga()).unwrap();
+    let config = ModeSetup::new(&spec, &workload).ga(&quick_ga()).run().unwrap();
 
     let c0 = CoreId::new(0);
     let bound = |m: u32| config.wcml_bound(c0, Mode::new(m).unwrap()).unwrap().unwrap().get();
@@ -65,7 +65,7 @@ fn figure7_narrative_reproduces() {
 fn lut_timers_are_sound_in_simulation_per_mode() {
     let spec = paper_spec();
     let workload = KernelSpec::new(Kernel::Water, 4).with_total_requests(3_000).generate();
-    let config = configure_modes(&spec, &workload, &quick_ga()).unwrap();
+    let config = ModeSetup::new(&spec, &workload).ga(&quick_ga()).run().unwrap();
     for entry in &config.entries {
         let timers = config.lut.timers_for(entry.mode).unwrap().to_vec();
         let outcome =
@@ -82,12 +82,12 @@ fn hardware_switch_mid_run_matches_lut_semantics() {
     // L1 lines stop being timer-protected.
     let spec = paper_spec();
     let workload = KernelSpec::new(Kernel::Fft, 4).with_total_requests(3_000).generate();
-    let config = configure_modes(&spec, &workload, &quick_ga()).unwrap();
+    let config = ModeSetup::new(&spec, &workload).ga(&quick_ga()).run().unwrap();
     let m1 = config.lut.timers_for(Mode::new(1).unwrap()).unwrap().to_vec();
     let m4 = config.lut.timers_for(Mode::new(4).unwrap()).unwrap().to_vec();
 
     let sim_config = Protocol::Cohort { timers: m1 }.sim_config(&spec).unwrap();
-    let mut sim = Simulator::new(sim_config, &workload).unwrap();
+    let mut sim = SimBuilder::new(sim_config, &workload).build().unwrap();
     sim.schedule_timer_switch(Cycles::new(20_000), m4.clone()).unwrap();
     let stats = sim.run().unwrap();
     sim.validate_coherence().unwrap();
@@ -105,7 +105,7 @@ fn two_level_system_has_two_modes() {
         .build()
         .unwrap();
     let workload = KernelSpec::new(Kernel::Lu, 2).with_total_requests(1_500).generate();
-    let config = configure_modes(&spec, &workload, &quick_ga()).unwrap();
+    let config = ModeSetup::new(&spec, &workload).ga(&quick_ga()).run().unwrap();
     assert_eq!(config.lut.modes(), 2);
     assert_eq!(config.lut.bits_per_core(), 32);
     assert!(config.lut.timers_for(Mode::new(2).unwrap()).unwrap()[1].is_msi());

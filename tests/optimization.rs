@@ -3,7 +3,7 @@
 //! reports infeasibility rather than silently violating a requirement.
 
 use cohort::{run_experiment, Protocol, SystemSpec};
-use cohort_optim::{optimize_timers, solve, GaConfig, TimerProblem};
+use cohort_optim::{optimize_timers, GaConfig, GaRun, TimerProblem};
 use cohort_trace::{micro, Kernel, KernelSpec};
 use cohort_types::{Criticality, Cycles, Error};
 
@@ -66,7 +66,7 @@ fn optimizer_beats_naive_configurations() {
         builder = builder.timed(i, None);
     }
     let problem = builder.build().unwrap();
-    let outcome = solve(&problem, &ga());
+    let outcome = GaRun::new(&problem).config(&ga()).run();
     let minimal = problem.fitness(&[1; 4]);
     let saturated = problem.fitness(problem.theta_saturations());
     assert!(outcome.best_fitness <= minimal + 1e-9);

@@ -4,7 +4,7 @@
 //! only thing holding the two formulas together: if either side drifts,
 //! it fails loudly here.
 
-use cohort_sim::{MetricsProbe, SimConfig, Simulator};
+use cohort_sim::{MetricsProbe, SimBuilder, SimConfig};
 use cohort_trace::micro;
 use cohort_types::TimerValue;
 
@@ -27,7 +27,8 @@ fn probe_bound_matches_the_analysis_crate_exactly() {
         let config = SimConfig::builder(cores).timers(timers.clone()).build().unwrap();
         let latency = *config.latency();
         let workload = micro::ping_pong(cores, 1);
-        let mut sim = Simulator::with_probe(config, &workload, MetricsProbe::new()).unwrap();
+        let mut sim =
+            SimBuilder::new(config, &workload).probe(MetricsProbe::new()).build().unwrap();
         sim.run().unwrap();
         let report = sim.into_probe().into_report();
 
@@ -52,7 +53,7 @@ fn probe_bound_is_absent_when_the_analysis_does_not_apply() {
         .build()
         .unwrap();
     let workload = micro::ping_pong(4, 4);
-    let mut sim = Simulator::with_probe(config, &workload, MetricsProbe::new()).unwrap();
+    let mut sim = SimBuilder::new(config, &workload).probe(MetricsProbe::new()).build().unwrap();
     sim.run().unwrap();
     let report = sim.into_probe().into_report();
     assert!(report.cores.iter().all(|c| c.wcl_bound.is_none()));
@@ -72,7 +73,7 @@ fn measured_latencies_respect_the_shared_bound_under_contention() {
     let config = SimConfig::builder(4).timers(timers.clone()).build().unwrap();
     let latency = *config.latency();
     let workload = micro::random_shared(4, 12, 500, 0.5, 23);
-    let mut sim = Simulator::with_probe(config, &workload, MetricsProbe::new()).unwrap();
+    let mut sim = SimBuilder::new(config, &workload).probe(MetricsProbe::new()).build().unwrap();
     sim.run().unwrap();
     let report = sim.into_probe().into_report();
 

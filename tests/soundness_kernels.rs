@@ -4,7 +4,7 @@
 //! obligation behind Figure 5's "experimental under analytical" claim.
 
 use cohort::{run_experiment, Protocol, SystemSpec};
-use cohort_optim::{solve, GaConfig, TimerProblem};
+use cohort_optim::{GaConfig, GaRun, TimerProblem};
 use cohort_trace::{Kernel, KernelSpec, Workload};
 use cohort_types::{Criticality, TimerValue};
 
@@ -32,7 +32,7 @@ fn optimized_timers(workload: &Workload, critical: &[bool]) -> Vec<TimerValue> {
         }
     }
     let problem = builder.build().unwrap();
-    let outcome = solve(&problem, &quick_ga());
+    let outcome = GaRun::new(&problem).config(&quick_ga()).run();
     problem.timers_from_genes(&outcome.best)
 }
 
