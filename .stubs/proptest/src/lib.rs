@@ -1,0 +1,275 @@
+//! Offline stub of `proptest`.
+//!
+//! The `proptest!` macro expands to NOTHING under this stub: property
+//! bodies are discarded, so offline builds type-check strategy helper
+//! functions but never execute properties (CI with the real crates-io
+//! proptest runs them). Strategy combinators exist purely so helper
+//! functions returning `impl Strategy<Value = T>` compile.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of values of an associated type. Never executed offline.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters generated values (type-check only under the stub).
+    fn prop_filter<F>(self, _reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+
+    /// Chains a dependent strategy (type-check only under the stub).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Boxes the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { marker: PhantomData }
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    #[allow(dead_code)]
+    inner: S,
+    #[allow(dead_code)]
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+}
+
+/// Result of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    #[allow(dead_code)]
+    inner: S,
+    #[allow(dead_code)]
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+}
+
+/// Result of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    #[allow(dead_code)]
+    inner: S,
+    #[allow(dead_code)]
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+}
+
+/// Type-erased strategy handle.
+pub struct BoxedStrategy<V> {
+    marker: PhantomData<fn() -> V>,
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+}
+
+/// Strategy producing exactly one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+        }
+    )*};
+}
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+        }
+    )*};
+}
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, G)
+    (A, B, C, D, E, G, H)
+    (A, B, C, D, E, G, H, I)
+}
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+}
+
+/// Marker strategy returned by [`any`].
+pub struct Any<T> {
+    marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Strategy for Any<T> {
+    type Value = T;
+}
+
+impl<T> Default for Any<T> {
+    fn default() -> Self {
+        Any { marker: PhantomData }
+    }
+}
+
+macro_rules! arbitrary_prims {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+        }
+    )*};
+}
+arbitrary_prims!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char);
+
+/// The canonical strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any::default()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{PhantomData, Strategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size argument accepted by [`vec`].
+    pub trait IntoSizeRange {}
+    impl IntoSizeRange for usize {}
+    impl IntoSizeRange for Range<usize> {}
+    impl IntoSizeRange for RangeInclusive<usize> {}
+
+    /// Strategy for vectors of an element strategy.
+    pub struct VecStrategy<S> {
+        #[allow(dead_code)]
+        element: S,
+        marker: PhantomData<()>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+    }
+
+    /// Vector strategy with the given element strategy and size.
+    pub fn vec<S: Strategy>(element: S, _size: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy { element, marker: PhantomData }
+    }
+}
+
+/// Runner configuration (accepted, ignored offline).
+#[derive(Debug, Clone, Default)]
+pub struct ProptestConfig {
+    /// Number of cases the real runner would execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Test-case error type used by the real runner's signatures.
+pub mod test_runner {
+    /// Reason a case failed.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError;
+}
+
+/// The offline stub expands property blocks to nothing: bodies are
+/// discarded, properties run only in CI with the real crate.
+#[macro_export]
+macro_rules! proptest {
+    ($($tt:tt)*) => {};
+}
+
+/// Selects among strategies; the stub keeps the first arm for typing and
+/// discards the rest (they still must type-check individually).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {{
+        $( let _ = $rest; )*
+        $first
+    }};
+}
+
+/// Assertion macros usable inside property bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Assumption filter inside property bodies (no-op reject offline).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Everything a test module typically imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Any,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}

@@ -1,0 +1,199 @@
+//! Offline stub of `rand` 0.8.
+//!
+//! Deterministic stand-in exposing the trait surface the workspace uses:
+//! `RngCore::next_u64`, `Rng::{gen_range, gen_bool, gen}`, and
+//! `SeedableRng::{from_seed, seed_from_u64}`. The statistical quality is
+//! splitmix64-grade — plenty for seeded test-input generation, not for
+//! anything cryptographic.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source: a 64-bit output stream.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Types `gen_range` can sample. Mirrors real rand's `SampleUniform` so
+/// type inference unifies the range's element type with the result type
+/// through a single blanket `SampleRange` impl per range shape.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draws one value in `[start, end)` or `[start, end]`.
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        start: Self,
+        end: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                start: Self,
+                end: Self,
+                inclusive: bool,
+            ) -> Self {
+                let lo = start as i128;
+                let hi = end as i128 + i128::from(inclusive);
+                assert!(lo < hi, "empty range in gen_range");
+                let span = (hi - lo) as u128;
+                let offset = u128::from(rng.next_u64()) % span;
+                (lo + offset as i128) as $t
+            }
+        }
+    )*};
+}
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                start: Self,
+                end: Self,
+                _inclusive: bool,
+            ) -> Self {
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                start + unit * (end - start)
+            }
+        }
+    )*};
+}
+float_sample_uniform!(f32, f64);
+
+/// Range types that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Values generable from raw bits (the stub's `Standard` distribution).
+pub trait StandardSample {
+    /// Draws one value.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods, blanket-implemented for every RngCore.
+pub trait Rng: RngCore {
+    /// Uniform draw from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// Draw from the standard distribution of `T`.
+    fn r#gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministically seedable generators.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs from a u64, expanded via splitmix64 like the real crate.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Module alias matching `rand::rngs` paths.
+pub mod rngs {
+    /// Placeholder for API-compatibility; the workspace seeds explicitly.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        type Seed = [u8; 32];
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut eight = [0u8; 8];
+            eight.copy_from_slice(&seed[..8]);
+            StdRng { state: u64::from_le_bytes(eight) }
+        }
+    }
+}

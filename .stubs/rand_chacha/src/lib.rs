@@ -1,0 +1,45 @@
+//! Offline stub of `rand_chacha`.
+//!
+//! `ChaCha8Rng` here is NOT ChaCha — it is a splitmix64 stream with the
+//! same trait surface (`RngCore` + `SeedableRng` with a 32-byte seed).
+//! Deterministic per seed, which is all the workspace's seeded test and
+//! workload generation relies on.
+
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic seeded generator standing in for the real ChaCha8.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    state: u64,
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        // Fold the whole seed into the 64-bit state so distinct seeds give
+        // distinct streams.
+        let mut state = 0xCBF2_9CE4_8422_2325u64;
+        for chunk in seed.chunks(8) {
+            let mut eight = [0u8; 8];
+            eight[..chunk.len()].copy_from_slice(chunk);
+            state = (state ^ u64::from_le_bytes(eight)).wrapping_mul(0x1000_0000_01B3);
+        }
+        ChaCha8Rng { state }
+    }
+}
+
+/// Alias used by some call sites; identical stream family.
+pub type ChaCha20Rng = ChaCha8Rng;
+/// Alias used by some call sites; identical stream family.
+pub type ChaCha12Rng = ChaCha8Rng;

@@ -1,0 +1,69 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Emits trivial trait impls: derived `Serialize` produces `Value::Null`
+//! and derived `Deserialize` always errors. This keeps every
+//! `#[derive(Serialize, Deserialize)]` in the workspace compiling without
+//! the real syn/quote machinery; code that needs faithful typed serde
+//! feature-detects the stub at runtime and skips.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct` / `enum` keyword.
+fn type_name(input: &TokenStream) -> String {
+    let mut iter = input.clone().into_iter();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    match iter.next() {
+                        Some(TokenTree::Ident(name)) => {
+                            if let Some(TokenTree::Punct(p)) = iter.next() {
+                                assert!(
+                                    p.as_char() != '<',
+                                    "serde stub derive does not support generic types"
+                                );
+                            }
+                            return name.to_string();
+                        }
+                        other => panic!("serde stub derive: expected type name, got {other:?}"),
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("serde stub derive: no struct/enum keyword found");
+}
+
+/// Stub `#[derive(Serialize)]`: serializes every value as `null`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_stub_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+         }}"
+    )
+    .parse()
+    .expect("stub Serialize impl parses")
+}
+
+/// Stub `#[derive(Deserialize)]`: always fails to deserialize.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_stub_value(_v: &::serde::Value) -> ::core::result::Result<Self, ::std::string::String> {{\n\
+                 Err(\"typed deserialization is unsupported by the offline serde stub\".to_string())\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("stub Deserialize impl parses")
+}
