@@ -84,8 +84,9 @@ fn main() {
             )
             .with_label((*name).to_string())
         }))
+        .observer(&ConsoleObserver)
         .build()
-        .run_observed(&ConsoleObserver);
+        .run();
     let outcomes = report.into_outcomes().expect("runs");
     for ((name, t), outcome) in policies.iter().zip(&outcomes) {
         let avg_bound: u64 = outcome

@@ -14,7 +14,8 @@
 //! ```
 
 use cohort::{ExperimentJob, ModeController, ModeSetup, Protocol, Sweep};
-use cohort_bench::{bench_ga, fig7_stage_requirements, mode_switch_spec, write_json, CliOptions};
+use cohort_bench::report::{self, ReportWriter};
+use cohort_bench::{bench_ga, fig7_stage_requirements, mode_switch_spec, CliOptions};
 use cohort_trace::{Kernel, KernelSpec};
 use cohort_types::{CoreId, Cycles, Mode};
 use serde_json::json;
@@ -152,8 +153,7 @@ fn main() {
                 })
             })
             .collect();
-        let report = json!({
-            "generator": "fig7",
+        let doc = json!({
             "c0_bounds_per_mode": bounds.clone(),
             "stage_requirements": stages.to_vec(),
             "mode_walk": stage_modes
@@ -162,7 +162,7 @@ fn main() {
                 .collect::<Vec<Option<u32>>>(),
             "cross_check": cross_check,
         });
-        write_json(path, &report).expect("writable --json path");
+        ReportWriter::new(&report::FIG7, "fig7").write(path, doc).expect("writable --json path");
         println!("\nwrote machine-readable results to {}", path.display());
     }
 }

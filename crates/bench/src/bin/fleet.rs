@@ -1,0 +1,280 @@
+//! Fleet service benchmark: submission throughput under a burst of
+//! duplicate specs, kill-recovery through lease reclaim, and persistent
+//! memo replay.
+//!
+//! Three measurements, mirroring the fleet's three claims:
+//!
+//! 1. **Burst** — concurrent submitter threads fire duplicate experiment
+//!    specs at a running fleet; dedup-on-submit must collapse them onto
+//!    one execution each (dedup hit-rate > 0) at a healthy submission
+//!    throughput.
+//! 2. **Kill-recovery** — a chaos-rigged worker shard is killed after a
+//!    GA generation's checkpoint lands; its lease expires, the job is
+//!    re-claimed, resumed from the checkpoint, and the final payload must
+//!    be bit-identical to an uninterrupted reference run.
+//! 3. **Replay** — a second fleet over the same persistent store answers
+//!    every submission from the memo without executing anything.
+//!
+//! ```text
+//! cargo run --release -p cohort-bench --bin fleet -- \
+//!     [--quick] [--json results/BENCH_fleet.json]
+//! ```
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde_json::json;
+
+use cohort::{Protocol, SystemSpec};
+use cohort_bench::report::{self, ReportWriter};
+use cohort_bench::CliOptions;
+use cohort_fleet::{ga_payload, Fleet, JobQueue, JobSpec, ResultStore, WorkerId, WorkerShard};
+use cohort_optim::{GaConfig, GaRun, TimerProblem};
+use cohort_trace::{micro, Workload};
+use cohort_types::{Criticality, Cycles};
+
+/// The chaos shard's lease: short enough that recovery dominates the
+/// bench, long enough that the resumed run finishes inside it.
+const KILL_LEASE: Duration = Duration::from_millis(200);
+
+fn platform(cores: usize) -> SystemSpec {
+    let mut b = SystemSpec::builder();
+    for _ in 0..cores {
+        b = b.core(Criticality::new(1).expect("static level"));
+    }
+    b.build().expect("non-empty")
+}
+
+fn canonical(v: &serde_json::Value) -> String {
+    serde_json::to_string(v).expect("a Value serializes infallibly")
+}
+
+/// The burst workloads: `distinct` experiment jobs over distinct traces.
+fn burst_jobs(distinct: usize, accesses: usize) -> Vec<JobSpec> {
+    (0..distinct)
+        .map(|i| JobSpec::Experiment {
+            spec: platform(2),
+            protocol: Protocol::Msi,
+            workload: Arc::new(micro::random_shared(2, 8, accesses, 0.5, 1000 + i as u64)),
+        })
+        .collect()
+}
+
+struct BurstResult {
+    submissions: u64,
+    distinct: u64,
+    executed: u64,
+    dedup_hits: u64,
+    seconds: f64,
+}
+
+/// Fires `submitters` concurrent threads, each submitting every job of
+/// the burst set and waiting for all results; duplicate specs must
+/// collapse onto one execution per distinct job.
+fn run_burst(shards: usize, submitters: usize, jobs: &[JobSpec]) -> BurstResult {
+    let fleet = Fleet::builder().shards(shards).build().expect("in-memory fleet");
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..submitters)
+            .map(|_| {
+                let client = fleet.client();
+                s.spawn(move || {
+                    let tickets: Vec<_> = jobs
+                        .iter()
+                        .map(|job| client.submit(job.clone()).expect("fleet accepts"))
+                        .collect();
+                    for ticket in &tickets {
+                        client.wait(ticket).expect("job completes");
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("submitter thread");
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = fleet.shutdown();
+    BurstResult {
+        submissions: stats.queue.submitted,
+        distinct: jobs.len() as u64,
+        executed: stats.executed,
+        dedup_hits: stats.queue.deduplicated,
+        seconds,
+    }
+}
+
+struct KillResult {
+    reclaims: u64,
+    resumed: u64,
+    stale_completions: u64,
+    bit_identical: bool,
+    seconds: f64,
+}
+
+/// Kills a worker mid-GA-run (after generation 4's checkpoint), lets the
+/// lease expire and the claim loop resume the job, then compares the
+/// final payload against an uninterrupted reference run.
+fn run_kill_recovery(workload: &Workload, ga: &GaConfig) -> KillResult {
+    let job = JobSpec::Optimize {
+        workload: Arc::new(workload.clone()),
+        timed: vec![(0, None), (1, Some(20_000))],
+        ga: ga.clone(),
+    };
+    let queue = Arc::new(JobQueue::new(KILL_LEASE));
+    let store = Arc::new(ResultStore::in_memory());
+    let (fp, _) = queue.submit(job).expect("open queue");
+
+    // The chaos kill is a deliberate panic; keep its backtrace out of the
+    // bench output (any other panic still reports normally).
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let chaos = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|message| message.starts_with("chaos:"));
+        if !chaos {
+            default_hook(info);
+        }
+    }));
+
+    let start = Instant::now();
+    let shard = WorkerShard::new(WorkerId::new(0), Arc::clone(&queue), Arc::clone(&store))
+        .crash_after_generations(4);
+    let stats = shard.stats();
+    let handle = std::thread::spawn(move || shard.run());
+    assert!(queue.wait_done(fp), "the job completes despite the kill");
+    queue.close();
+    handle.join().expect("shard thread");
+    let seconds = start.elapsed().as_secs_f64();
+    let _ = std::panic::take_hook(); // back to the default hook
+
+    let problem = TimerProblem::builder(workload)
+        .timed(0, None)
+        .timed(1, Some(Cycles::new(20_000)))
+        .build()
+        .expect("valid problem");
+    let reference = ga_payload(&problem, &GaRun::new(&problem).config(ga).run());
+    let stored = store.get(fp).expect("intact store").expect("payload stored");
+    KillResult {
+        reclaims: queue.stats().reclaims,
+        resumed: stats.resumed.load(Ordering::Relaxed),
+        stale_completions: queue.stats().stale_completions,
+        bit_identical: canonical(&stored) == canonical(&reference),
+        seconds,
+    }
+}
+
+struct ReplayResult {
+    store_hits: u64,
+    executed: u64,
+    bit_identical: bool,
+}
+
+/// Runs the burst jobs through a persistent fleet, then replays them
+/// through a second fleet over the same directory: everything must come
+/// from the memo, bit-identical, with zero executions.
+fn run_replay(jobs: &[JobSpec]) -> ReplayResult {
+    let dir = std::env::temp_dir().join(format!("cohort-fleet-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let first = Fleet::builder().shards(2).store_dir(&dir).build().expect("persistent fleet");
+    let originals: Vec<String> = {
+        let client = first.client();
+        jobs.iter().map(|j| canonical(&client.run(j.clone()).expect("computes"))).collect()
+    };
+    let _ = first.shutdown();
+
+    let second = Fleet::builder().shards(2).store_dir(&dir).build().expect("persistent fleet");
+    let replayed: Vec<String> = {
+        let client = second.client();
+        jobs.iter().map(|j| canonical(&client.run(j.clone()).expect("replays"))).collect()
+    };
+    let stats = second.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    ReplayResult {
+        store_hits: stats.store_hits,
+        executed: stats.executed,
+        bit_identical: originals == replayed,
+    }
+}
+
+fn main() {
+    let options = CliOptions::parse_or_exit();
+    let quick = options.quick;
+
+    let shards = if quick { 2 } else { 4 };
+    let submitters = if quick { 4 } else { 8 };
+    let distinct = if quick { 3 } else { 6 };
+    let accesses = if quick { 200 } else { 2_000 };
+    let jobs = burst_jobs(distinct, accesses);
+
+    println!("fleet service benchmark ({})", if quick { "quick" } else { "full" });
+    println!("\nburst: {submitters} submitters × {distinct} jobs over {shards} shards ...");
+    let burst = run_burst(shards, submitters, &jobs);
+    let dedup_rate = burst.dedup_hits as f64 / burst.submissions as f64;
+    let throughput = burst.submissions as f64 / burst.seconds;
+    println!(
+        "  {} submissions in {:.3} s ({throughput:.0}/s), {} executed, \
+         {} deduplicated (rate {dedup_rate:.2})",
+        burst.submissions, burst.seconds, burst.executed, burst.dedup_hits,
+    );
+
+    println!("\nkill-recovery: GA run killed after generation 4, lease {KILL_LEASE:?} ...");
+    let ga = GaConfig {
+        population: if quick { 8 } else { 16 },
+        generations: if quick { 10 } else { 16 },
+        seed: 42,
+        workers: 1,
+        ..GaConfig::default()
+    };
+    let kill_workload = micro::line_bursts(2, 4, if quick { 60 } else { 240 });
+    let kill = run_kill_recovery(&kill_workload, &ga);
+    println!(
+        "  recovered in {:.3} s: {} reclaims, {} checkpoint resume(s), \
+         {} stale completion(s), bit-identical: {}",
+        kill.seconds, kill.reclaims, kill.resumed, kill.stale_completions, kill.bit_identical,
+    );
+    assert!(kill.bit_identical, "kill-recovery must reproduce the reference payload bit for bit");
+
+    println!("\nreplay: second fleet over the same persistent store ...");
+    let replay = run_replay(&jobs);
+    println!(
+        "  {} store hits, {} executions, bit-identical: {}",
+        replay.store_hits, replay.executed, replay.bit_identical,
+    );
+    assert_eq!(replay.executed, 0, "a replayed run must execute nothing");
+    assert!(replay.bit_identical, "replayed payloads must match the originals");
+
+    if let Some(path) = &options.json {
+        let doc = json!({
+            "quick": quick,
+            "shards": shards as u64,
+            "lease_ms": u64::try_from(KILL_LEASE.as_millis()).expect("small lease"),
+            "burst": json!({
+                "submissions": burst.submissions,
+                "distinct_jobs": burst.distinct,
+                "executed": burst.executed,
+                "dedup_hits": burst.dedup_hits,
+                "dedup_rate": dedup_rate,
+                "seconds": burst.seconds,
+                "submissions_per_sec": throughput,
+            }),
+            "kill_recovery": json!({
+                "reclaims": kill.reclaims,
+                "resumed": kill.resumed,
+                "stale_completions": kill.stale_completions,
+                "bit_identical": kill.bit_identical,
+                "seconds": kill.seconds,
+            }),
+            "replay": json!({
+                "store_hits": replay.store_hits,
+                "executed": replay.executed,
+                "bit_identical": replay.bit_identical,
+            }),
+        });
+        ReportWriter::new(&report::FLEET, "fleet").write(path, doc).expect("writable --json path");
+        println!("\nwrote {}", path.display());
+    }
+}

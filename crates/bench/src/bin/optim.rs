@@ -19,7 +19,8 @@
 
 use std::time::Instant;
 
-use cohort_bench::{bench_ga, write_json, CliOptions};
+use cohort_bench::report::{self, ReportWriter};
+use cohort_bench::{bench_ga, CliOptions};
 use cohort_optim::{
     GaConfig, GaOutcome, GaRun, GeneticAlgorithm, SearchSpace, StopReason, TimerProblem,
 };
@@ -158,8 +159,8 @@ fn main() {
     );
 
     if let Some(path) = &options.json {
+        let writer = ReportWriter::new(&report::OPTIM, "optim");
         let report = json!({
-            "generator": "optim",
             "quick": options.quick,
             "host_parallelism": host_parallelism,
             "population": base.population,
@@ -183,7 +184,7 @@ fn main() {
                 "stop": stop_label(timer_outcome.stop),
             }),
         });
-        write_json(path, &report).expect("write JSON report");
+        writer.write(path, report).expect("write JSON report");
         println!("\nwrote {}", path.display());
     }
 }

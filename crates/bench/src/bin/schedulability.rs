@@ -10,7 +10,8 @@
 //! ```
 
 use cohort::{ModeController, ModeSetup};
-use cohort_bench::{bench_ga, mode_switch_spec, write_json, CliOptions};
+use cohort_bench::report::{self, ReportWriter};
+use cohort_bench::{bench_ga, mode_switch_spec, CliOptions};
 use cohort_trace::{Kernel, KernelSpec};
 use cohort_types::{CoreId, Cycles, Mode};
 use serde_json::json;
@@ -62,13 +63,14 @@ fn main() {
         println!("{:>9}% {gamma:>14} {:>18} {:>22}", pct, fmt(with), fmt(without));
     }
     if let Some(path) = &options.json {
-        let report = json!({
-            "generator": "schedulability",
+        let doc = json!({
             "bound_mode1": bound1,
             "bound_mode4": bound4,
             "points": points,
         });
-        write_json(path, &report).expect("writable --json path");
+        ReportWriter::new(&report::SCHEDULABILITY, "schedulability")
+            .write(path, doc)
+            .expect("writable --json path");
         println!("wrote machine-readable results to {}", path.display());
     }
     println!(

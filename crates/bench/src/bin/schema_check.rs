@@ -1,18 +1,28 @@
 //! Validates the machine-readable artifacts of the figure bins. Each flag
 //! names a document kind in the validator registry below: a `--report`
 //! figure report, a `--trace` Chrome-trace file, an `--optim` GA-engine
-//! benchmark report, a `--chaos` fault-campaign report, or a `--sim`
-//! engine-throughput report. Exits non-zero on the first schema violation —
-//! CI runs this after a smoke regeneration.
+//! benchmark report, a `--chaos` fault-campaign report, a `--sim`
+//! engine-throughput report, or a `--fleet` fleet-service report. Exits
+//! non-zero on the first schema violation — CI runs this after a smoke
+//! regeneration.
+//!
+//! Document identity comes from the shared [`cohort_bench::report`]
+//! definitions: the emitters stamp each document with a `"schema"` tag
+//! through a `ReportWriter`, and the validators here verify the identical
+//! tag — one definition, no drift. Tagless documents written before the
+//! tag existed stay valid.
 //!
 //! ```text
 //! cargo run --release -p cohort-bench --bin schema_check -- \
 //!     [--report <report.json>] [--trace <trace.json>] \
-//!     [--optim <optim.json>] [--chaos <chaos.json>] [--sim <sim.json>]
+//!     [--optim <optim.json>] [--chaos <chaos.json>] [--sim <sim.json>] \
+//!     [--fleet <fleet.json>]
 //! ```
 
 use std::path::Path;
 use std::process::ExitCode;
+
+use cohort_bench::report;
 
 type CheckResult = Result<(), String>;
 
@@ -117,6 +127,7 @@ fn check_metrics(metrics: &serde_json::Value, run_what: &str) -> CheckResult {
 
 /// Checks a `--json` report document.
 fn check_report(doc: &serde_json::Value) -> CheckResult {
+    report::REPORT.check(doc)?;
     expect_str(doc, "generator", "report")?;
     let runs = get(doc, "runs", "report")?
         .as_array()
@@ -133,6 +144,7 @@ fn check_report(doc: &serde_json::Value) -> CheckResult {
 
 /// Checks an `optim` engine-benchmark document.
 fn check_optim(doc: &serde_json::Value) -> CheckResult {
+    report::OPTIM.check(doc)?;
     expect_str(doc, "generator", "optim")?;
     if get(doc, "generator", "optim")?.as_str() != Some("optim") {
         return Err("optim: `generator` is not \"optim\"".into());
@@ -267,6 +279,7 @@ fn check_degradation_report(report: &serde_json::Value, what: &str) -> CheckResu
 
 /// Checks a `chaos` campaign document (`--chaos`).
 fn check_chaos(doc: &serde_json::Value) -> CheckResult {
+    report::CHAOS.check(doc)?;
     if get(doc, "generator", "chaos")?.as_str() != Some("chaos") {
         return Err("chaos: `generator` is not \"chaos\"".into());
     }
@@ -363,6 +376,7 @@ fn check_trace(doc: &serde_json::Value) -> CheckResult {
 
 /// Checks a `sim` engine-throughput document (`--sim`, `BENCH_sim.json`).
 fn check_sim(doc: &serde_json::Value) -> CheckResult {
+    report::SIM.check(doc)?;
     if get(doc, "generator", "sim")?.as_str() != Some("sim") {
         return Err("sim: `generator` is not \"sim\"".into());
     }
@@ -414,6 +428,80 @@ fn check_sim(doc: &serde_json::Value) -> CheckResult {
     Ok(())
 }
 
+/// Checks a `fleet` service-benchmark document (`--fleet`,
+/// `BENCH_fleet.json`).
+fn check_fleet(doc: &serde_json::Value) -> CheckResult {
+    report::FLEET.check(doc)?;
+    if get(doc, "generator", "fleet")?.as_str() != Some("fleet") {
+        return Err("fleet: `generator` is not \"fleet\"".into());
+    }
+    if get(doc, "quick", "fleet")?.as_bool().is_none() {
+        return Err("fleet: `quick` is not a boolean".into());
+    }
+    for key in ["shards", "lease_ms"] {
+        expect_u64(doc, key, "fleet")?;
+    }
+
+    // The burst section: the dedup-on-submit acceptance gate. A burst of
+    // duplicate submissions must have produced a positive dedup hit-rate
+    // and a positive throughput.
+    let burst = get(doc, "burst", "fleet")?;
+    let what = "fleet.burst";
+    for key in ["submissions", "distinct_jobs", "executed", "dedup_hits"] {
+        expect_u64(burst, key, what)?;
+    }
+    for key in ["seconds", "submissions_per_sec", "dedup_rate"] {
+        expect_f64(burst, key, what)?;
+    }
+    let count = |key: &str| get(burst, key, what).ok().and_then(serde_json::Value::as_u64);
+    let dedup_rate = get(burst, "dedup_rate", what)?.as_f64().unwrap_or(-1.0);
+    if !(dedup_rate > 0.0 && dedup_rate <= 1.0) {
+        return Err(format!("{what}: dedup_rate {dedup_rate} is not in (0, 1]"));
+    }
+    let throughput = get(burst, "submissions_per_sec", what)?.as_f64().unwrap_or(0.0);
+    if throughput <= 0.0 || !throughput.is_finite() {
+        return Err(format!("{what}: submissions_per_sec {throughput} is not positive"));
+    }
+    if count("executed") > count("distinct_jobs") {
+        return Err(format!(
+            "{what}: executed {:?} exceeds distinct_jobs {:?}",
+            count("executed"),
+            count("distinct_jobs")
+        ));
+    }
+
+    // The kill-recovery section: a worker killed mid-job must have forced
+    // a lease reclaim, and the recomputed outcome must be bit-identical.
+    let kill = get(doc, "kill_recovery", "fleet")?;
+    let what = "fleet.kill_recovery";
+    for key in ["reclaims", "resumed", "stale_completions"] {
+        expect_u64(kill, key, what)?;
+    }
+    if get(kill, "reclaims", what)?.as_u64() == Some(0) {
+        return Err(format!("{what}: no lease was reclaimed — the chaos hook never fired"));
+    }
+    if get(kill, "bit_identical", what)?.as_bool() != Some(true) {
+        return Err(format!("{what}: `bit_identical` must be true"));
+    }
+
+    // The replay section: a second fleet over the same persistent store
+    // must answer everything from the memo without executing.
+    let replay = get(doc, "replay", "fleet")?;
+    let what = "fleet.replay";
+    expect_u64(replay, "store_hits", what)?;
+    if get(replay, "executed", what)?.as_u64() != Some(0) {
+        return Err(format!("{what}: a replayed run must execute nothing"));
+    }
+    if get(replay, "bit_identical", what)?.as_bool() != Some(true) {
+        return Err(format!("{what}: `bit_identical` must be true"));
+    }
+    println!(
+        "fleet ok: dedup rate {dedup_rate:.2}, {throughput:.0} submissions/s, kill-recovery \
+         bit-identical"
+    );
+    Ok(())
+}
+
 /// One entry in the validator registry: the CLI flag that selects it and
 /// the checker it dispatches to. New document kinds join by adding a row.
 struct Validator {
@@ -427,6 +515,7 @@ const VALIDATORS: &[Validator] = &[
     Validator { flag: "--optim", check: check_optim },
     Validator { flag: "--chaos", check: check_chaos },
     Validator { flag: "--sim", check: check_sim },
+    Validator { flag: "--fleet", check: check_fleet },
 ];
 
 fn usage() -> String {

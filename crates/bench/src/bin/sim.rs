@@ -25,7 +25,8 @@ use std::time::Instant;
 
 use serde_json::json;
 
-use cohort_bench::{write_json, CliOptions};
+use cohort_bench::report::{self, ReportWriter};
+use cohort_bench::CliOptions;
 use cohort_sim::{
     compare_engines, ArbiterKind, CacheGeometry, DataPath, EngineKind, EventLogProbe, FaultPlan,
     LlcModel, ProtocolFlavor, SimBuilder, SimConfig,
@@ -257,14 +258,13 @@ fn main() -> Result<()> {
             })
             .collect();
         let doc = json!({
-            "generator": "sim",
             "quick": quick,
             "determinism": true,
             "engines_identical": true,
             "presets_compared": presets_compared as u64,
             "results": results,
         });
-        write_json(path, &doc)?;
+        ReportWriter::new(&report::SIM, "sim").write(path, doc)?;
         eprintln!("sim: wrote {}", path.display());
     }
     Ok(())

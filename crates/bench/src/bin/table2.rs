@@ -7,7 +7,8 @@
 //! ```
 
 use cohort::ModeSetup;
-use cohort_bench::{bench_ga, mode_switch_spec, write_json, CliOptions};
+use cohort_bench::report::{self, ReportWriter};
+use cohort_bench::{bench_ga, mode_switch_spec, CliOptions};
 use cohort_trace::{Kernel, KernelSpec};
 use serde_json::json;
 
@@ -57,12 +58,13 @@ fn main() {
                 })
             })
             .collect();
-        let report = json!({
-            "generator": "table2",
+        let doc = json!({
             "bits_per_core": u64::from(config.lut.bits_per_core()),
             "entries": entries,
         });
-        write_json(path, &report).expect("writable --json path");
+        ReportWriter::new(&report::TABLE2, "table2")
+            .write(path, doc)
+            .expect("writable --json path");
         println!("wrote machine-readable results to {}", path.display());
     }
 }

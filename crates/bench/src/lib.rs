@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -390,29 +392,27 @@ pub fn write_chrome_trace(
 }
 
 /// Wraps per-run records into the `--json` report envelope
-/// (`{"generator": ..., "runs": [...]}`).
+/// (`{"schema": "report/1", "generator": ..., "runs": [...]}`), stamped
+/// through the shared [`report::REPORT`] definition.
 #[must_use]
 pub fn json_report(generator: &str, runs: Vec<serde_json::Value>) -> serde_json::Value {
-    json!({
-        "generator": generator,
-        "runs": runs,
-    })
+    report::ReportWriter::new(&report::REPORT, generator).envelope(json!({ "runs": runs }))
 }
 
 /// Wraps chaos campaign records into the chaos report envelope
-/// (`{"generator": ..., "quick": ..., "campaigns": [...]}`) consumed by
-/// `schema_check --chaos`.
+/// (`{"schema": "chaos/1", "generator": ..., "quick": ..., "campaigns":
+/// [...]}`) consumed by `schema_check --chaos`, stamped through the shared
+/// [`report::CHAOS`] definition.
 #[must_use]
 pub fn json_report_envelope(
     generator: &str,
     quick: bool,
     campaigns: Vec<serde_json::Value>,
 ) -> serde_json::Value {
-    json!({
-        "generator": generator,
+    report::ReportWriter::new(&report::CHAOS, generator).envelope(json!({
         "quick": quick,
         "campaigns": campaigns,
-    })
+    }))
 }
 
 /// Writes a machine-readable report to `path` (pretty-printed JSON),

@@ -179,27 +179,63 @@ struct SilentObserver;
 
 impl SweepObserver for SilentObserver {}
 
+/// The job body a sweep executes — the default bodies simulate + analyse,
+/// custom runners (tests, alternative execution backends such as the
+/// fleet's worker shards) inject their own while keeping the pool, the
+/// panic isolation and the reporting.
+pub type SweepRunner<'o> = &'o (dyn Fn(&ExperimentJob) -> Result<ExperimentOutcome> + Sync);
+
 /// A configured batch of experiments, ready to run.
 ///
 /// Built with [`Sweep::builder`]. Running is `&self`: the same sweep can
 /// be executed repeatedly (results are deterministic for deterministic
-/// workloads, independent of worker scheduling).
-#[derive(Debug, Clone)]
-pub struct Sweep {
+/// workloads, independent of worker scheduling). Progress observation and
+/// custom job bodies are builder state ([`SweepBuilder::observer`] /
+/// [`SweepBuilder::runner`]), so [`Sweep::run`] is the single entry point.
+#[derive(Clone)]
+pub struct Sweep<'o> {
     jobs: Vec<ExperimentJob>,
     workers: usize,
     collect_metrics: bool,
+    observer: Option<&'o dyn SweepObserver>,
+    runner: Option<SweepRunner<'o>>,
+}
+
+impl std::fmt::Debug for Sweep<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sweep")
+            .field("jobs", &self.jobs)
+            .field("workers", &self.workers)
+            .field("collect_metrics", &self.collect_metrics)
+            .field("observer", &self.observer.map(|_| "dyn SweepObserver"))
+            .field("runner", &self.runner.map(|_| "dyn Fn"))
+            .finish()
+    }
 }
 
 /// Builder for [`Sweep`].
-#[derive(Debug, Default)]
-pub struct SweepBuilder {
+#[derive(Default)]
+pub struct SweepBuilder<'o> {
     jobs: Vec<ExperimentJob>,
     workers: Option<usize>,
     collect_metrics: bool,
+    observer: Option<&'o dyn SweepObserver>,
+    runner: Option<SweepRunner<'o>>,
 }
 
-impl SweepBuilder {
+impl std::fmt::Debug for SweepBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepBuilder")
+            .field("jobs", &self.jobs)
+            .field("workers", &self.workers)
+            .field("collect_metrics", &self.collect_metrics)
+            .field("observer", &self.observer.map(|_| "dyn SweepObserver"))
+            .field("runner", &self.runner.map(|_| "dyn Fn"))
+            .finish()
+    }
+}
+
+impl<'o> SweepBuilder<'o> {
     /// Appends one job.
     #[must_use]
     pub fn job(mut self, job: ExperimentJob) -> Self {
@@ -232,21 +268,41 @@ impl SweepBuilder {
         self
     }
 
+    /// Attaches a progress observer; [`Sweep::run`] reports every job
+    /// start/finish to it from the worker threads.
+    #[must_use]
+    pub fn observer(mut self, observer: &'o dyn SweepObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Replaces the job body executed for every job (the default simulates
+    /// and analyses, honouring [`SweepBuilder::collect_metrics`]). Tests
+    /// and alternative execution backends inject their own while keeping
+    /// the pool, the panic isolation and the reporting.
+    #[must_use]
+    pub fn runner(mut self, runner: SweepRunner<'o>) -> Self {
+        self.runner = Some(runner);
+        self
+    }
+
     /// Finalises the sweep.
     #[must_use]
-    pub fn build(self) -> Sweep {
+    pub fn build(self) -> Sweep<'o> {
         Sweep {
             jobs: self.jobs,
             workers: self.workers.unwrap_or_else(pool::default_workers),
             collect_metrics: self.collect_metrics,
+            observer: self.observer,
+            runner: self.runner,
         }
     }
 }
 
-impl Sweep {
+impl<'o> Sweep<'o> {
     /// Starts building a sweep.
     #[must_use]
-    pub fn builder() -> SweepBuilder {
+    pub fn builder() -> SweepBuilder<'o> {
         SweepBuilder::default()
     }
 
@@ -262,32 +318,57 @@ impl Sweep {
         self.workers
     }
 
-    /// Runs every job and returns all results, silently.
+    /// Runs every job and returns all results — the single entry point.
+    /// Progress goes to the builder-configured observer (silent without
+    /// one); the job body is the builder-configured runner, defaulting to
+    /// simulate + analyse (with metrics when
+    /// [`SweepBuilder::collect_metrics`] is set).
     #[must_use]
     pub fn run(&self) -> SweepReport {
-        self.run_observed(&SilentObserver)
-    }
-
-    /// Runs every job, reporting progress to `observer`.
-    #[must_use]
-    pub fn run_observed(&self, observer: &dyn SweepObserver) -> SweepReport {
-        if self.collect_metrics {
-            self.run_with(observer, |job| {
+        let observer = self.observer.unwrap_or(&SilentObserver);
+        match self.runner {
+            Some(runner) => self.run_inner(observer, runner),
+            None if self.collect_metrics => self.run_inner(observer, &|job| {
                 run_experiment_with_metrics(&job.spec, &job.protocol, &job.workload)
-            })
-        } else {
-            self.run_with(observer, |job| run_experiment(&job.spec, &job.protocol, &job.workload))
+            }),
+            None => self.run_inner(observer, &|job| {
+                run_experiment(&job.spec, &job.protocol, &job.workload)
+            }),
         }
     }
 
-    /// Runs every job through a custom `runner` (the engine underneath
-    /// [`Sweep::run_observed`], public so tests and alternative execution
-    /// backends can inject their own job body while keeping the pool,
-    /// the panic isolation and the reporting).
+    /// Runs every job, reporting progress to `observer`.
+    #[deprecated(
+        since = "0.3.0",
+        note = "configure the observer on the builder (`SweepBuilder::observer`) and call `run()`"
+    )]
+    #[must_use]
+    pub fn run_observed(&self, observer: &dyn SweepObserver) -> SweepReport {
+        if self.collect_metrics {
+            self.run_inner(observer, &|job| {
+                run_experiment_with_metrics(&job.spec, &job.protocol, &job.workload)
+            })
+        } else {
+            self.run_inner(observer, &|job| run_experiment(&job.spec, &job.protocol, &job.workload))
+        }
+    }
+
+    /// Runs every job through a custom `runner`.
+    #[deprecated(
+        since = "0.3.0",
+        note = "configure the runner and observer on the builder (`SweepBuilder::runner` / \
+                `SweepBuilder::observer`) and call `run()`"
+    )]
     pub fn run_with<F>(&self, observer: &dyn SweepObserver, runner: F) -> SweepReport
     where
         F: Fn(&ExperimentJob) -> Result<ExperimentOutcome> + Sync,
     {
+        self.run_inner(observer, &runner)
+    }
+
+    /// The engine underneath [`Sweep::run`]: the bounded pool, per-job
+    /// panic isolation and progress reporting.
+    fn run_inner(&self, observer: &dyn SweepObserver, runner: SweepRunner<'_>) -> SweepReport {
         let started = Instant::now();
         let results = pool::run_indexed(&self.jobs, self.workers, |index, job| {
             observer.job_started(index, &job.label);
@@ -431,11 +512,12 @@ mod tests {
 
     #[test]
     fn a_panicking_job_is_isolated_and_reported() {
-        let sweep = Sweep::builder().jobs(tiny_jobs(5)).workers(2).build();
-        let report = sweep.run_with(&SilentObserver, |job| {
+        let runner = |job: &ExperimentJob| {
             assert!(job.label != "job-2", "poisoned job");
             Ok(dummy_outcome(job))
-        });
+        };
+        let sweep = Sweep::builder().jobs(tiny_jobs(5)).workers(2).runner(&runner).build();
+        let report = sweep.run();
         assert_eq!(report.results.len(), 5, "siblings of the panicking job complete");
         assert_eq!(report.ok_count(), 4);
         assert_eq!(report.error_count(), 1);
@@ -463,8 +545,7 @@ mod tests {
         let (hit, penalty) = (Cycles::new(1), Cycles::new(216));
         let expected = guaranteed_hits(&trace, TimerValue::timed(64).unwrap(), &l1, hit, penalty);
 
-        let sweep = Sweep::builder().jobs(tiny_jobs(6)).workers(3).build();
-        let report = sweep.run_with(&SilentObserver, |job| {
+        let runner = |job: &ExperimentJob| {
             let memoized = analysis_cache().guaranteed_hits(
                 &trace,
                 TimerValue::timed(64).unwrap(),
@@ -475,7 +556,9 @@ mod tests {
             assert_eq!(memoized, expected, "the shared memo must stay exact");
             assert!(job.label != "job-1", "fault injected into job-1");
             Ok(dummy_outcome(job))
-        });
+        };
+        let sweep = Sweep::builder().jobs(tiny_jobs(6)).workers(3).runner(&runner).build();
+        let report = sweep.run();
         assert_eq!(report.ok_count(), 5);
         assert!(matches!(report.results[1].outcome, Err(JobError::Panicked(_))));
 
@@ -534,11 +617,14 @@ mod tests {
         }
         let limit = pool::default_workers();
         let threads = Mutex::new(HashSet::new());
-        let sweep = Sweep::builder().jobs(tiny_jobs(24)).build();
-        let report = sweep.run_with(&ThreadRecorder(&threads), |job| {
+        let recorder = ThreadRecorder(&threads);
+        let runner = |job: &ExperimentJob| {
             std::thread::sleep(Duration::from_millis(1));
             Ok(dummy_outcome(job))
-        });
+        };
+        let sweep =
+            Sweep::builder().jobs(tiny_jobs(24)).observer(&recorder).runner(&runner).build();
+        let report = sweep.run();
         let distinct = threads.lock().unwrap().len();
         assert!(
             distinct <= limit,
@@ -558,8 +644,9 @@ mod tests {
             }
         }
         let events = Mutex::new(Vec::new());
-        let sweep = Sweep::builder().jobs(tiny_jobs(6)).workers(2).build();
-        let report = sweep.run_observed(&Recorder(&events));
+        let recorder = Recorder(&events);
+        let sweep = Sweep::builder().jobs(tiny_jobs(6)).workers(2).observer(&recorder).build();
+        let report = sweep.run();
         let mut seen = events.into_inner().unwrap();
         seen.sort_by_key(|(i, _, _)| *i);
         assert_eq!(seen.len(), 6);

@@ -40,7 +40,7 @@ impl ModeDecision {
 /// # Examples
 ///
 /// ```
-/// use cohort::{configure_modes, ModeController, SystemSpec};
+/// use cohort::{ModeController, ModeSetup, SystemSpec};
 /// use cohort_optim::GaConfig;
 /// use cohort_trace::micro;
 /// use cohort_types::{CoreId, Criticality, Cycles, Mode};
@@ -51,7 +51,7 @@ impl ModeDecision {
 ///     .build()?;
 /// let workload = micro::line_bursts(2, 4, 40);
 /// let ga = GaConfig { population: 12, generations: 6, ..Default::default() };
-/// let config = configure_modes(&spec, &workload, &ga)?;
+/// let config = ModeSetup::new(&spec, &workload).ga(&ga).run()?;
 /// let mut controller = ModeController::new(config);
 /// assert_eq!(controller.current(), Mode::NORMAL);
 ///

@@ -68,15 +68,13 @@ mod system;
 
 pub use batch::{
     ExperimentJob, JobError, JobProgress, JobResult, Sweep, SweepBuilder, SweepObserver,
-    SweepReport,
+    SweepReport, SweepRunner,
 };
 pub use controller::{ModeController, ModeDecision};
 pub use degrade::{
     run_with_watchdog, DegradationReport, PostSwitchCompliance, SwitchRecord, WatchdogPolicy,
 };
 pub use experiment::{run_experiment, run_experiment_with_metrics, ExperimentOutcome};
-#[allow(deprecated)]
-pub use modes::{configure_modes, configure_modes_observed};
 pub use modes::{ModeConfiguration, ModeEntry, ModeSetup, ModeSwitchLut};
 pub use protocol::{Protocol, ProtocolKind};
 pub use system::{CoreSpec, SystemSpec, SystemSpecBuilder};

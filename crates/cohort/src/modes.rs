@@ -240,38 +240,6 @@ impl<'a> ModeSetup<'a> {
     }
 }
 
-/// Runs the offline flow of Fig. 2a with default observer.
-///
-/// # Errors
-///
-/// Returns an error if the spec and workload disagree on the core count.
-#[deprecated(since = "0.2.0", note = "use `ModeSetup::new(spec, workload).ga(ga).run()`")]
-pub fn configure_modes(
-    spec: &SystemSpec,
-    workload: &Workload,
-    ga: &GaConfig,
-) -> Result<ModeConfiguration> {
-    ModeSetup::new(spec, workload).ga(ga).run()
-}
-
-/// [`ModeSetup::run`] with a [`GaObserver`] progress hook.
-///
-/// # Errors
-///
-/// Returns an error if the spec and workload disagree on the core count.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ModeSetup::new(spec, workload).ga(ga).observer(observer).run()`"
-)]
-pub fn configure_modes_observed(
-    spec: &SystemSpec,
-    workload: &Workload,
-    ga: &GaConfig,
-    observer: &dyn GaObserver,
-) -> Result<ModeConfiguration> {
-    ModeSetup::new(spec, workload).ga(ga).observer(observer).run()
-}
-
 fn configure_one_mode(
     spec: &SystemSpec,
     workload: &Workload,

@@ -79,7 +79,11 @@ impl std::fmt::Display for ProtocolKind {
 }
 
 /// The coherence solutions compared in the paper's evaluation (§VIII).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Serializable so fleet job specs can carry a full protocol
+/// configuration (timers, criticality masks) across the submission wire,
+/// not just its [`ProtocolKind`] name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Protocol {
     /// CoHoRT: per-core timers (θ = −1 ⇒ MSI), RROF arbitration, direct
     /// cache-to-cache hand-overs. Analysed with Eq. 1 + Eq. 2/3.

@@ -1,0 +1,273 @@
+//! The fleet front-end: spin up shards, absorb bursts of submissions,
+//! hand out dedup-aware tickets.
+
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde_json::Value;
+
+use cohort_types::{Error, Fingerprint, Result, WorkerId};
+
+use crate::queue::{JobQueue, QueueStats};
+use crate::spec::JobSpec;
+use crate::store::ResultStore;
+use crate::worker::{ShardStats, WorkerShard};
+
+/// Builder for a [`Fleet`].
+#[derive(Debug, Clone)]
+pub struct FleetBuilder {
+    shards: usize,
+    lease: Duration,
+    store_dir: Option<PathBuf>,
+}
+
+impl Default for FleetBuilder {
+    fn default() -> Self {
+        FleetBuilder { shards: 2, lease: Duration::from_secs(30), store_dir: None }
+    }
+}
+
+impl FleetBuilder {
+    /// Number of worker shards (clamped to at least 1; default 2).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The claim lease duration (default 30 s). Short leases recover
+    /// faster from killed workers but must comfortably exceed the longest
+    /// job, or healthy slow jobs get spuriously re-claimed (harmless —
+    /// determinism — but wasteful).
+    #[must_use]
+    pub fn lease(mut self, lease: Duration) -> Self {
+        self.lease = lease;
+        self
+    }
+
+    /// Mirrors the result store into `dir`, sharing the memo across fleet
+    /// runs (and across fleets pointing at the same directory).
+    #[must_use]
+    pub fn store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Starts the shards and returns the running fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Codec`] if the persistent store directory cannot
+    /// be created.
+    pub fn build(self) -> Result<Fleet> {
+        let store = Arc::new(match &self.store_dir {
+            Some(dir) => ResultStore::persistent(dir)?,
+            None => ResultStore::in_memory(),
+        });
+        let queue = Arc::new(JobQueue::new(self.lease));
+        let mut handles = Vec::with_capacity(self.shards);
+        let mut shard_stats = Vec::with_capacity(self.shards);
+        for i in 0..self.shards {
+            let shard =
+                WorkerShard::new(WorkerId::new(i as u64), Arc::clone(&queue), Arc::clone(&store));
+            shard_stats.push(shard.stats());
+            handles.push(std::thread::spawn(move || shard.run()));
+        }
+        Ok(Fleet { queue, store, handles, shard_stats })
+    }
+}
+
+/// A running fleet: worker shards over a shared queue and store.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use cohort::{Protocol, SystemSpec};
+/// use cohort_fleet::{Fleet, JobSpec};
+/// use cohort_trace::micro;
+/// use cohort_types::Criticality;
+///
+/// let fleet = Fleet::builder().shards(2).build()?;
+/// let client = fleet.client();
+/// let spec = SystemSpec::builder().core(Criticality::new(1)?).core(Criticality::new(1)?).build()?;
+/// let job = JobSpec::Experiment {
+///     spec,
+///     protocol: Protocol::Msi,
+///     workload: Arc::new(micro::ping_pong(2, 8)),
+/// };
+/// // A burst of duplicate submissions shares one execution.
+/// let tickets: Vec<_> = (0..4).map(|_| client.submit(job.clone())).collect::<Result<_, _>>()?;
+/// for t in &tickets {
+///     assert!(client.wait(t)?.get("cycles").is_some());
+/// }
+/// let stats = fleet.shutdown();
+/// assert_eq!(stats.queue.deduplicated, 3);
+/// assert_eq!(stats.executed, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Fleet {
+    queue: Arc<JobQueue>,
+    store: Arc<ResultStore>,
+    handles: Vec<JoinHandle<()>>,
+    shard_stats: Vec<Arc<ShardStats>>,
+}
+
+/// Aggregate counters of a fleet's lifetime, returned by
+/// [`Fleet::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetStats {
+    /// Queue-side counters (submissions, dedup, lease reclaims).
+    pub queue: QueueStats,
+    /// Jobs executed and completed across all shards.
+    pub executed: u64,
+    /// Claims answered from the store without executing, across all
+    /// shards.
+    pub served: u64,
+    /// Completions discarded as stale across all shards.
+    pub stale: u64,
+    /// GA claims resumed from a checkpoint across all shards.
+    pub resumed: u64,
+    /// Store reads answered (memory or persistent mirror).
+    pub store_hits: u64,
+}
+
+impl Fleet {
+    /// Starts configuring a fleet.
+    #[must_use]
+    pub fn builder() -> FleetBuilder {
+        FleetBuilder::default()
+    }
+
+    /// A cheap handle for submitting jobs — clone one per submitting
+    /// thread.
+    #[must_use]
+    pub fn client(&self) -> FleetClient {
+        FleetClient { queue: Arc::clone(&self.queue), store: Arc::clone(&self.store) }
+    }
+
+    /// The shared result store (e.g. to pre-warm or inspect it).
+    #[must_use]
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// Live counter snapshot without shutting down.
+    #[must_use]
+    pub fn stats(&self) -> FleetStats {
+        let mut stats = FleetStats {
+            queue: self.queue.stats(),
+            store_hits: self.store.hits(),
+            ..FleetStats::default()
+        };
+        for shard in &self.shard_stats {
+            stats.executed += shard.executed.load(Ordering::Relaxed);
+            stats.served += shard.served.load(Ordering::Relaxed);
+            stats.stale += shard.stale.load(Ordering::Relaxed);
+            stats.resumed += shard.resumed.load(Ordering::Relaxed);
+        }
+        stats
+    }
+
+    /// Closes the queue, drains the remaining jobs, joins the shards and
+    /// returns the lifetime counters.
+    #[must_use]
+    pub fn shutdown(self) -> FleetStats {
+        self.queue.close();
+        for handle in self.handles {
+            // A shard that panicked outside its job sandbox is already
+            // accounted for by lease reclaim; ignore the join error.
+            let _ = handle.join();
+        }
+        let mut stats = FleetStats {
+            queue: self.queue.stats(),
+            store_hits: self.store.hits(),
+            ..FleetStats::default()
+        };
+        for shard in &self.shard_stats {
+            stats.executed += shard.executed.load(Ordering::Relaxed);
+            stats.served += shard.served.load(Ordering::Relaxed);
+            stats.stale += shard.stale.load(Ordering::Relaxed);
+            stats.resumed += shard.resumed.load(Ordering::Relaxed);
+        }
+        stats
+    }
+}
+
+/// A submission ticket: the job's content-address plus whether the
+/// submission was answered without queueing (a store hit from a previous
+/// run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket {
+    /// The job's fingerprint — also its result-store key.
+    pub fingerprint: Fingerprint,
+    /// Whether the persistent store already held the payload at submit
+    /// time (no execution at all, not even a deduplicated one).
+    pub cached: bool,
+}
+
+/// A submitting handle onto a [`Fleet`].
+#[derive(Debug, Clone)]
+pub struct FleetClient {
+    queue: Arc<JobQueue>,
+    store: Arc<ResultStore>,
+}
+
+impl FleetClient {
+    /// Submits a job. Bursts of duplicate specs collapse: the first
+    /// submission queues the job, the rest ride the same execution, and a
+    /// spec whose payload already sits in the (persistent) store skips
+    /// the queue entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the fleet is shut down.
+    pub fn submit(&self, spec: JobSpec) -> Result<Ticket> {
+        let fingerprint = spec.fingerprint();
+        if self.store.contains(fingerprint) {
+            // Answered from the memo of a previous run; register the job as
+            // already done so `wait` resolves uniformly and no worker ever
+            // claims it.
+            let (fingerprint, _fresh) = self.queue.submit_resolved(spec)?;
+            return Ok(Ticket { fingerprint, cached: true });
+        }
+        let (fingerprint, _fresh) = self.queue.submit(spec)?;
+        Ok(Ticket { fingerprint, cached: false })
+    }
+
+    /// Blocks until the ticket's job completes and returns its payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::StoreCorrupt`] if the stored payload fails its
+    /// integrity check, [`Error::InvalidConfig`] if the fleet shut down
+    /// without the job ever being submitted.
+    pub fn wait(&self, ticket: &Ticket) -> Result<Value> {
+        if !self.queue.wait_done(ticket.fingerprint) {
+            return Err(Error::InvalidConfig(format!(
+                "fleet shut down before job {} completed",
+                ticket.fingerprint
+            )));
+        }
+        self.store.get(ticket.fingerprint)?.ok_or_else(|| {
+            Error::InvalidConfig(format!(
+                "job {} completed but its payload is missing from the store",
+                ticket.fingerprint
+            ))
+        })
+    }
+
+    /// Submit-and-wait in one call.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetClient::submit`] and [`FleetClient::wait`].
+    pub fn run(&self, spec: JobSpec) -> Result<Value> {
+        let ticket = self.submit(spec)?;
+        self.wait(&ticket)
+    }
+}

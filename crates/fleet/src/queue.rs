@@ -1,0 +1,375 @@
+//! The fleet job queue: dedup-on-submit, epoch/lease claim coordination
+//! and completion tracking.
+//!
+//! Claims are *leases*, not locks: a worker that claims a job promises to
+//! complete it before the lease runs out. A crashed or killed worker
+//! simply stops renewing its promise — the next claimer sweeps the
+//! expired lease, advances the job's [`Epoch`] and re-claims it. The late
+//! completion (if the "dead" worker was merely slow) carries the old
+//! epoch and is rejected with [`Error::LeaseExpired`]; determinism makes
+//! the rejection lossless, because the re-claimer recomputes the
+//! bit-identical result.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use cohort_types::{Epoch, Error, Fingerprint, Result, WorkerId};
+
+use crate::spec::JobSpec;
+
+/// One claimed job, as handed to a worker shard.
+#[derive(Debug, Clone)]
+pub struct Claim {
+    /// The job's content-address (also its result-store key).
+    pub fingerprint: Fingerprint,
+    /// What to execute.
+    pub spec: Arc<JobSpec>,
+    /// The claim generation; [`JobQueue::complete`] validates it.
+    pub epoch: Epoch,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Pending,
+    Claimed { worker: WorkerId, deadline: Instant },
+    Done,
+}
+
+struct JobState {
+    spec: Arc<JobSpec>,
+    epoch: Epoch,
+    status: Status,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: HashMap<Fingerprint, JobState>,
+    pending: VecDeque<Fingerprint>,
+    closed: bool,
+    submitted: u64,
+    deduplicated: u64,
+    reclaims: u64,
+    stale_completions: u64,
+}
+
+/// Counters describing what the queue has seen so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Submissions accepted (including duplicates).
+    pub submitted: u64,
+    /// Submissions answered by an already-known job (dedup-on-submit).
+    pub deduplicated: u64,
+    /// Expired leases swept and re-queued at a new epoch.
+    pub reclaims: u64,
+    /// Completions rejected because their lease had expired.
+    pub stale_completions: u64,
+}
+
+/// The shared job queue of one fleet.
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    lease: Duration,
+}
+
+impl std::fmt::Debug for JobQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.lock();
+        f.debug_struct("JobQueue")
+            .field("jobs", &st.jobs.len())
+            .field("pending", &st.pending.len())
+            .field("lease", &self.lease)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobQueue {
+    /// Creates a queue whose claims lease for `lease` (clamped to at
+    /// least one millisecond).
+    #[must_use]
+    pub fn new(lease: Duration) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState::default()),
+            cv: Condvar::new(),
+            lease: lease.max(Duration::from_millis(1)),
+        }
+    }
+
+    // Chaos survival: a simulated worker kill is a panic; the queue must
+    // keep serving its siblings even if one died near a lock.
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The configured lease duration.
+    #[must_use]
+    pub fn lease(&self) -> Duration {
+        self.lease
+    }
+
+    /// Submits `spec`, deduplicating on its fingerprint: a job already
+    /// queued, running or done absorbs the submission without a second
+    /// execution. Returns the fingerprint and whether this submission was
+    /// the first of its kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the queue is closed.
+    pub fn submit(&self, spec: JobSpec) -> Result<(Fingerprint, bool)> {
+        let fingerprint = spec.fingerprint();
+        let mut st = self.lock();
+        if st.closed {
+            return Err(Error::InvalidConfig("the fleet is shut down".into()));
+        }
+        st.submitted += 1;
+        if st.jobs.contains_key(&fingerprint) {
+            st.deduplicated += 1;
+            return Ok((fingerprint, false));
+        }
+        st.jobs.insert(
+            fingerprint,
+            JobState { spec: Arc::new(spec), epoch: Epoch::FIRST, status: Status::Pending },
+        );
+        st.pending.push_back(fingerprint);
+        self.cv.notify_all();
+        Ok((fingerprint, true))
+    }
+
+    /// Submits a spec whose payload the result store already holds: the
+    /// job is registered as done immediately and never enqueued, so no
+    /// worker can claim it (a duplicate of an existing job is plain
+    /// dedup, whatever that job's state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the queue is closed.
+    pub fn submit_resolved(&self, spec: JobSpec) -> Result<(Fingerprint, bool)> {
+        let fingerprint = spec.fingerprint();
+        let mut st = self.lock();
+        if st.closed {
+            return Err(Error::InvalidConfig("the fleet is shut down".into()));
+        }
+        st.submitted += 1;
+        if st.jobs.contains_key(&fingerprint) {
+            st.deduplicated += 1;
+            return Ok((fingerprint, false));
+        }
+        st.jobs.insert(
+            fingerprint,
+            JobState { spec: Arc::new(spec), epoch: Epoch::FIRST, status: Status::Done },
+        );
+        self.cv.notify_all();
+        Ok((fingerprint, true))
+    }
+
+    /// Moves every expired lease back to pending at the next epoch.
+    fn sweep_expired(st: &mut QueueState, now: Instant) {
+        let mut expired: Vec<Fingerprint> = Vec::new();
+        for (fp, job) in &st.jobs {
+            if let Status::Claimed { deadline, .. } = job.status {
+                if deadline <= now {
+                    expired.push(*fp);
+                }
+            }
+        }
+        for fp in expired {
+            let job = st.jobs.get_mut(&fp).expect("swept job exists");
+            job.epoch = job.epoch.next();
+            job.status = Status::Pending;
+            st.pending.push_back(fp);
+            st.reclaims += 1;
+        }
+    }
+
+    /// Blocks until a job is claimable (or the queue is closed and
+    /// drained), then claims it for `worker`. Expired leases of crashed
+    /// workers are swept and re-claimed here, at the advanced epoch.
+    ///
+    /// Returns `None` when the queue is closed and no work remains — the
+    /// worker shard's signal to exit.
+    #[must_use]
+    pub fn claim(&self, worker: WorkerId) -> Option<Claim> {
+        let mut st = self.lock();
+        loop {
+            let now = Instant::now();
+            Self::sweep_expired(&mut st, now);
+            if let Some(fingerprint) = st.pending.pop_front() {
+                let lease = self.lease;
+                let job = st.jobs.get_mut(&fingerprint).expect("pending job exists");
+                job.status = Status::Claimed { worker, deadline: now + lease };
+                return Some(Claim { fingerprint, spec: Arc::clone(&job.spec), epoch: job.epoch });
+            }
+            let in_flight = st.jobs.values().any(|j| matches!(j.status, Status::Claimed { .. }));
+            if st.closed && !in_flight {
+                // Closed, nothing pending, nothing that could still expire
+                // back into pending: drained.
+                self.cv.notify_all();
+                return None;
+            }
+            // Wake when notified or in time to sweep the earliest lease.
+            let timeout = st
+                .jobs
+                .values()
+                .filter_map(|j| match j.status {
+                    Status::Claimed { deadline, .. } => {
+                        Some(deadline.saturating_duration_since(now))
+                    }
+                    _ => None,
+                })
+                .min()
+                .unwrap_or(self.lease)
+                .max(Duration::from_millis(1));
+            let (guard, _) =
+                self.cv.wait_timeout(st, timeout).unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Records `fingerprint` as completed by the claim taken at `epoch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LeaseExpired`] if the job has since been swept to
+    /// a newer epoch — the caller's lease ran out and its (already
+    /// computed) result is discarded as stale. Returns
+    /// [`Error::InvalidConfig`] for a fingerprint the queue never issued.
+    pub fn complete(&self, fingerprint: Fingerprint, epoch: Epoch) -> Result<()> {
+        let mut st = self.lock();
+        let job = st.jobs.get_mut(&fingerprint).ok_or_else(|| {
+            Error::InvalidConfig(format!("completion for unknown job {fingerprint}"))
+        })?;
+        if job.epoch != epoch {
+            let current = job.epoch.get();
+            st.stale_completions += 1;
+            return Err(Error::LeaseExpired { held: epoch.get(), current });
+        }
+        job.status = Status::Done;
+        st.pending.retain(|fp| *fp != fingerprint);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Blocks until `fingerprint` completes. Returns `false` if the queue
+    /// closed (and drained) without the job ever completing — only
+    /// possible for fingerprints that were never submitted.
+    #[must_use]
+    pub fn wait_done(&self, fingerprint: Fingerprint) -> bool {
+        let mut st = self.lock();
+        loop {
+            match st.jobs.get(&fingerprint) {
+                Some(job) if job.status == Status::Done => return true,
+                None if st.closed => return false,
+                Some(_) | None => {}
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Closes the queue: no new submissions; workers drain the remaining
+    /// jobs (including leases that still have to expire) and then exit.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Current counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        let st = self.lock();
+        QueueStats {
+            submitted: st.submitted,
+            deduplicated: st.deduplicated,
+            reclaims: st.reclaims,
+            stale_completions: st.stale_completions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohort::Protocol;
+    use cohort_trace::micro;
+    use cohort_types::Criticality;
+
+    fn job(n: usize) -> JobSpec {
+        let mut b = cohort::SystemSpec::builder();
+        for _ in 0..2 {
+            b = b.core(Criticality::new(1).unwrap());
+        }
+        JobSpec::Experiment {
+            spec: b.build().unwrap(),
+            protocol: Protocol::Msi,
+            workload: Arc::new(micro::ping_pong(2, n)),
+        }
+    }
+
+    #[test]
+    fn duplicate_submissions_collapse_to_one_job() {
+        let q = JobQueue::new(Duration::from_secs(10));
+        let (fp1, fresh1) = q.submit(job(4)).unwrap();
+        let (fp2, fresh2) = q.submit(job(4)).unwrap();
+        assert_eq!(fp1, fp2);
+        assert!(fresh1 && !fresh2);
+        let stats = q.stats();
+        assert_eq!((stats.submitted, stats.deduplicated), (2, 1));
+        // Only one claim comes out.
+        let claim = q.claim(WorkerId::new(0)).expect("one job pending");
+        assert_eq!(claim.epoch, Epoch::FIRST);
+        q.complete(claim.fingerprint, claim.epoch).unwrap();
+        assert!(q.wait_done(fp1));
+        q.close();
+        assert!(q.claim(WorkerId::new(0)).is_none(), "drained queue yields no claims");
+    }
+
+    #[test]
+    fn expired_leases_are_reclaimed_at_the_next_epoch() {
+        let q = JobQueue::new(Duration::from_millis(20));
+        let (fp, _) = q.submit(job(6)).unwrap();
+        let dead = q.claim(WorkerId::new(0)).unwrap();
+        assert_eq!(dead.epoch, Epoch::FIRST);
+        std::thread::sleep(Duration::from_millis(40));
+        // The next claimer sweeps the expired lease and re-claims.
+        let alive = q.claim(WorkerId::new(1)).unwrap();
+        assert_eq!(alive.fingerprint, fp);
+        assert_eq!(alive.epoch, Epoch::FIRST.next());
+        assert_eq!(q.stats().reclaims, 1);
+        // The re-claimer's completion lands; the dead worker's is stale.
+        q.complete(fp, alive.epoch).unwrap();
+        let err = q.complete(fp, dead.epoch).unwrap_err();
+        assert_eq!(err, Error::LeaseExpired { held: 1, current: 2 });
+        assert_eq!(q.stats().stale_completions, 1);
+    }
+
+    #[test]
+    fn stale_completion_before_reclaim_is_also_rejected() {
+        let q = JobQueue::new(Duration::from_millis(10));
+        let (fp, _) = q.submit(job(8)).unwrap();
+        let dead = q.claim(WorkerId::new(0)).unwrap();
+        std::thread::sleep(Duration::from_millis(25));
+        // Another claim sweeps the lease (epoch 2) even though it claims
+        // the same job; the original epoch-1 completion must be refused.
+        let second = q.claim(WorkerId::new(1)).unwrap();
+        assert!(matches!(q.complete(fp, dead.epoch), Err(Error::LeaseExpired { .. })));
+        q.complete(fp, second.epoch).unwrap();
+    }
+
+    #[test]
+    fn closed_queue_rejects_submissions_and_drains() {
+        let q = JobQueue::new(Duration::from_secs(10));
+        let (fp, _) = q.submit(job(3)).unwrap();
+        q.close();
+        assert!(q.submit(job(5)).is_err());
+        // Pending work is still handed out after close.
+        let claim = q.claim(WorkerId::new(0)).expect("pending job survives close");
+        q.complete(fp, claim.epoch).unwrap();
+        assert!(q.claim(WorkerId::new(0)).is_none());
+        assert!(q.wait_done(fp));
+        assert!(!q.wait_done(Fingerprint::from_raw(0x1234)), "unknown job after close");
+    }
+}

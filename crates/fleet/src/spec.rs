@@ -1,0 +1,280 @@
+//! Fleet job specifications and their content-address fingerprints.
+
+use std::sync::Arc;
+
+use serde_json::{json, Value};
+
+use cohort::{Protocol, SystemSpec};
+use cohort_optim::GaConfig;
+use cohort_trace::Workload;
+use cohort_types::{Fingerprint, FingerprintBuilder, TimerValue};
+
+/// One unit of fleet work: either a simulate-and-analyse experiment (one
+/// job of a PR-1-style sweep) or a GA timer optimization (a PR-4-style
+/// run).
+///
+/// The spec owns everything that determines its outcome, and its
+/// [`JobSpec::fingerprint`] digests exactly that — two submissions with
+/// the same fingerprint are the same computation, share one execution and
+/// one stored result. Workloads ride behind an [`Arc`] so a burst of
+/// protocol jobs over one workload stays cheap to submit.
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// Simulate `protocol` on `spec` over `workload`, then analyse.
+    Experiment {
+        /// The platform to simulate and analyse against.
+        spec: SystemSpec,
+        /// The protocol configuration under test.
+        protocol: Protocol,
+        /// The workload, shared rather than cloned across jobs.
+        workload: Arc<Workload>,
+    },
+    /// Run the GA timer optimization of the paper's Fig. 2a flow.
+    Optimize {
+        /// The workload whose traces drive the fitness analysis.
+        workload: Arc<Workload>,
+        /// Which cores are timed, each with an optional WCML requirement
+        /// (in cycles) — the `TimerProblem::builder` inputs.
+        timed: Vec<(usize, Option<u64>)>,
+        /// The GA engine configuration (the run is a pure function of it
+        /// plus the problem).
+        ga: GaConfig,
+    },
+}
+
+impl JobSpec {
+    /// A short human-readable label for progress lines and bench output.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            JobSpec::Experiment { protocol, workload, .. } => {
+                format!("{}/{}", protocol.slug(), workload.name())
+            }
+            JobSpec::Optimize { workload, timed, .. } => {
+                format!("ga/{} ({} timed)", workload.name(), timed.len())
+            }
+        }
+    }
+
+    /// The 128-bit content-address of this job: a digest of everything
+    /// that determines its outcome. Workload content enters through the
+    /// existing per-trace `Trace::fingerprint` values, so the fleet's
+    /// store lives in the same fingerprint space as the analysis memo.
+    ///
+    /// Deliberately excluded: worker-thread counts ([`GaConfig::workers`]
+    /// — any value produces bit-identical outcomes) and presentation-only
+    /// state such as sweep labels.
+    #[must_use]
+    pub fn fingerprint(&self) -> Fingerprint {
+        match self {
+            JobSpec::Experiment { spec, protocol, workload } => {
+                let mut b = Fingerprint::builder().text("cohort-fleet/experiment/1");
+                b = digest_workload(b, workload);
+                b = digest_spec(b, spec);
+                digest_protocol(b, protocol).finish()
+            }
+            JobSpec::Optimize { workload, timed, ga } => {
+                let mut b = Fingerprint::builder().text("cohort-fleet/optimize/1");
+                b = digest_workload(b, workload);
+                b = b.u64(timed.len() as u64);
+                for &(core, requirement) in timed {
+                    b = b.u64(core as u64).u64(encode_option(requirement));
+                }
+                digest_ga(b, ga).finish()
+            }
+        }
+    }
+
+    /// A JSON manifest of the job — kind, label, fingerprint and the
+    /// scalar configuration — for bench reports and queue inspection.
+    /// (Workload *content* is identified by the fingerprint, not
+    /// re-serialized: traces are exchanged through the trace codec.)
+    #[must_use]
+    pub fn to_json_value(&self) -> Value {
+        match self {
+            JobSpec::Experiment { spec, protocol, workload } => json!({
+                "kind": "experiment",
+                "label": self.label(),
+                "fingerprint": self.fingerprint().to_hex(),
+                "protocol": protocol.slug(),
+                "workload": workload.name(),
+                "cores": spec.cores(),
+            }),
+            JobSpec::Optimize { workload, timed, ga } => json!({
+                "kind": "optimize",
+                "label": self.label(),
+                "fingerprint": self.fingerprint().to_hex(),
+                "workload": workload.name(),
+                "timed_cores": timed.len(),
+                "population": ga.population,
+                "generations": ga.generations,
+                "seed": ga.seed,
+            }),
+        }
+    }
+}
+
+/// `Option<u64>` → one u64 slot: `None` digests as `u64::MAX` and the
+/// presence bit keeps `Some(u64::MAX)` distinct.
+fn encode_option(v: Option<u64>) -> u64 {
+    v.map_or(u64::MAX, |x| x)
+}
+
+fn digest_workload(b: FingerprintBuilder, workload: &Workload) -> FingerprintBuilder {
+    let mut b = b.text(workload.name()).u64(workload.traces().len() as u64);
+    for trace in workload.traces() {
+        b = b.fingerprint(trace.fingerprint());
+    }
+    b
+}
+
+fn digest_spec(b: FingerprintBuilder, spec: &SystemSpec) -> FingerprintBuilder {
+    let mut b = b.u64(spec.cores() as u64);
+    for core in spec.core_specs() {
+        b = b.u64(u64::from(core.criticality().level()));
+        let mut reqs: Vec<(u32, u64)> =
+            core.requirements().iter().map(|(m, c)| (m.index(), c.get())).collect();
+        reqs.sort_unstable();
+        b = b.u64(reqs.len() as u64);
+        for (mode, budget) in reqs {
+            b = b.u64(u64::from(mode)).u64(budget);
+        }
+    }
+    let lat = spec.latency();
+    b = b.u64(lat.hit.get()).u64(lat.request.get()).u64(lat.data.get());
+    b = digest_geometry(b, spec.l1());
+    match spec.llc() {
+        cohort::sim::LlcModel::Perfect => b.text("llc/perfect"),
+        cohort::sim::LlcModel::Finite(geom) => digest_geometry(b.text("llc/finite"), geom),
+    }
+}
+
+fn digest_geometry(b: FingerprintBuilder, g: &cohort::sim::CacheGeometry) -> FingerprintBuilder {
+    b.u64(g.size_bytes).u64(g.line_bytes).u64(g.ways)
+}
+
+fn digest_protocol(b: FingerprintBuilder, protocol: &Protocol) -> FingerprintBuilder {
+    let b = b.text(protocol.slug());
+    match protocol {
+        Protocol::Cohort { timers } => {
+            let mut b = b.u64(timers.len() as u64);
+            for t in timers {
+                b = b.u64(t.encode() as u64);
+            }
+            b
+        }
+        Protocol::Msi | Protocol::MsiFcfs | Protocol::Pcc => b,
+        Protocol::Pendulum { critical, theta } => {
+            let mut b = b.u64(critical.len() as u64);
+            for &c in critical {
+                b = b.u64(u64::from(c));
+            }
+            b.u64(*theta)
+        }
+    }
+}
+
+fn digest_ga(b: FingerprintBuilder, ga: &GaConfig) -> FingerprintBuilder {
+    // `workers` is deliberately absent: parallelism never touches the RNG,
+    // so any worker count is the same computation.
+    b.u64(ga.population as u64)
+        .u64(ga.generations as u64)
+        .u64(ga.tournament as u64)
+        .u64(ga.crossover_rate.to_bits())
+        .u64(ga.mutation_rate.to_bits())
+        .u64(ga.elitism as u64)
+        .u64(ga.seed)
+        .u64(encode_option(ga.stall_generations.map(|s| s as u64)))
+        .u64(encode_option(ga.target_fitness.map(f64::to_bits)))
+        .u64(encode_option(ga.max_evaluations))
+}
+
+/// Re-exported so workers can rebuild the timers a GA winner programs.
+pub(crate) fn timers_to_json(timers: &[TimerValue]) -> Value {
+    Value::Array(timers.iter().map(|t| json!(t.encode())).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohort_trace::micro;
+    use cohort_types::Criticality;
+
+    fn spec(n: usize) -> SystemSpec {
+        let mut b = SystemSpec::builder();
+        for _ in 0..n {
+            b = b.core(Criticality::new(1).unwrap());
+        }
+        b.build().unwrap()
+    }
+
+    fn experiment(theta: u64) -> JobSpec {
+        JobSpec::Experiment {
+            spec: spec(2),
+            protocol: Protocol::Cohort {
+                timers: vec![TimerValue::timed(theta).unwrap(), TimerValue::MSI],
+            },
+            workload: Arc::new(micro::ping_pong(2, 8)),
+        }
+    }
+
+    #[test]
+    fn equal_specs_share_a_fingerprint() {
+        assert_eq!(experiment(30).fingerprint(), experiment(30).fingerprint());
+        assert_ne!(experiment(30).fingerprint(), experiment(31).fingerprint());
+    }
+
+    #[test]
+    fn every_outcome_determinant_moves_the_fingerprint() {
+        let base = experiment(30).fingerprint();
+        // Different workload content.
+        let other_workload = JobSpec::Experiment {
+            spec: spec(2),
+            protocol: Protocol::Cohort {
+                timers: vec![TimerValue::timed(30).unwrap(), TimerValue::MSI],
+            },
+            workload: Arc::new(micro::ping_pong(2, 9)),
+        };
+        assert_ne!(other_workload.fingerprint(), base);
+        // Different protocol family, identical everything else.
+        let msi = JobSpec::Experiment {
+            spec: spec(2),
+            protocol: Protocol::Msi,
+            workload: Arc::new(micro::ping_pong(2, 8)),
+        };
+        assert_ne!(msi.fingerprint(), base);
+        // Experiment and optimize jobs can never collide by kind tag.
+        let ga = JobSpec::Optimize {
+            workload: Arc::new(micro::ping_pong(2, 8)),
+            timed: vec![(0, None), (1, None)],
+            ga: GaConfig::default(),
+        };
+        assert_ne!(ga.fingerprint(), base);
+    }
+
+    #[test]
+    fn ga_seed_and_budget_are_part_of_the_identity() {
+        let job = |seed: u64, max_evaluations: Option<u64>| JobSpec::Optimize {
+            workload: Arc::new(micro::line_bursts(2, 4, 40)),
+            timed: vec![(0, None), (1, Some(5_000))],
+            ga: GaConfig { seed, max_evaluations, ..GaConfig::default() },
+        };
+        assert_eq!(job(7, None).fingerprint(), job(7, None).fingerprint());
+        assert_ne!(job(7, None).fingerprint(), job(8, None).fingerprint());
+        assert_ne!(job(7, None).fingerprint(), job(7, Some(100)).fingerprint());
+        // Worker count is NOT identity: any value is the same computation.
+        let mut a = job(7, None);
+        if let JobSpec::Optimize { ga, .. } = &mut a {
+            ga.workers = 6;
+        }
+        assert_eq!(a.fingerprint(), job(7, None).fingerprint());
+    }
+
+    #[test]
+    fn manifests_name_kind_and_fingerprint() {
+        let v = experiment(30).to_json_value();
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("experiment"));
+        assert_eq!(v.get("fingerprint").and_then(Value::as_str).unwrap().len(), 32);
+        assert_eq!(v.get("protocol").and_then(Value::as_str), Some("cohort"));
+    }
+}

@@ -1,0 +1,333 @@
+//! The content-addressed result store: fingerprint-keyed payloads with
+//! integrity checking, optionally persisted across runs.
+//!
+//! Every entry is an envelope `{format, key, payload_fingerprint, payload}`.
+//! The payload fingerprint is recomputed on every read and compared to the
+//! recorded one — disk corruption or a tampered file surfaces as
+//! [`Error::StoreCorrupt`] instead of a silently wrong result. Because
+//! fleet jobs are deterministic, a corrupt entry is never fatal: dropping
+//! it and re-running the job reproduces the identical payload.
+//!
+//! GA checkpoints live in a separate keyspace (same fingerprint keys,
+//! `checkpoint-` file prefix): they are scratch state for lease re-claims,
+//! deleted once the job's final payload lands.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use serde_json::{json, Value};
+
+use cohort_types::{Error, Fingerprint, Result};
+
+/// Format marker written to (and required from) persisted entries.
+const FORMAT: &str = "cohort-fleet-entry/1";
+
+/// Digests a payload's canonical JSON spelling. `serde_json` serializes
+/// object keys in sorted order, so equal `Value`s digest identically
+/// regardless of construction order.
+#[must_use]
+pub fn payload_fingerprint(payload: &Value) -> Fingerprint {
+    let text = serde_json::to_string(payload).expect("a Value serializes infallibly");
+    Fingerprint::builder().bytes(text.as_bytes()).finish()
+}
+
+struct Entry {
+    payload: Value,
+    payload_fp: Fingerprint,
+}
+
+/// Fingerprint-keyed result store shared by all clients and worker shards.
+///
+/// In-memory always; give it a directory ([`ResultStore::persistent`]) to
+/// also mirror every entry to disk, making the memo survive the process —
+/// a later fleet run answers repeated submissions from the store without
+/// executing anything.
+pub struct ResultStore {
+    entries: Mutex<HashMap<Fingerprint, Entry>>,
+    checkpoints: Mutex<HashMap<Fingerprint, Value>>,
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+}
+
+impl std::fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultStore")
+            .field("entries", &self.lock_entries().len())
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ResultStore {
+    /// A store living only as long as the process.
+    #[must_use]
+    pub fn in_memory() -> Self {
+        ResultStore {
+            entries: Mutex::new(HashMap::new()),
+            checkpoints: Mutex::new(HashMap::new()),
+            dir: None,
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// A store mirroring every entry into `dir` (created if missing), so
+    /// results persist across fleet runs and are shared by every client
+    /// pointing at the same directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Codec`] if the directory cannot be created.
+    pub fn persistent(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| Error::Codec(format!("cannot create store dir {}: {e}", dir.display())))?;
+        Ok(ResultStore {
+            entries: Mutex::new(HashMap::new()),
+            checkpoints: Mutex::new(HashMap::new()),
+            dir: Some(dir),
+            hits: AtomicU64::new(0),
+        })
+    }
+
+    // Chaos survival: a worker may panic (simulated kill) moments after a
+    // store call returns; never let that poison the maps for its siblings.
+    fn lock_entries(&self) -> std::sync::MutexGuard<'_, HashMap<Fingerprint, Entry>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_checkpoints(&self) -> std::sync::MutexGuard<'_, HashMap<Fingerprint, Value>> {
+        self.checkpoints.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn entry_path(dir: &Path, key: Fingerprint) -> PathBuf {
+        dir.join(format!("{}.json", key.to_hex()))
+    }
+
+    /// Stores `payload` under `key`, replacing any previous entry (jobs
+    /// are deterministic, so a replay writes the identical payload).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Codec`] if the persistent mirror cannot be
+    /// written; the in-memory entry is installed regardless.
+    pub fn put(&self, key: Fingerprint, payload: Value) -> Result<()> {
+        let payload_fp = payload_fingerprint(&payload);
+        let envelope = json!({
+            "format": FORMAT,
+            "key": key.to_hex(),
+            "payload_fingerprint": payload_fp.to_hex(),
+            "payload": payload.clone(),
+        });
+        self.lock_entries().insert(key, Entry { payload, payload_fp });
+        if let Some(dir) = &self.dir {
+            let path = Self::entry_path(dir, key);
+            let mut text =
+                serde_json::to_string_pretty(&envelope).expect("a Value serializes infallibly");
+            text.push('\n');
+            // Atomic tmp + rename: a torn write never shadows a good entry.
+            let tmp = path.with_extension("json.tmp");
+            std::fs::write(&tmp, text)
+                .map_err(|e| Error::Codec(format!("store write {}: {e}", tmp.display())))?;
+            std::fs::rename(&tmp, &path)
+                .map_err(|e| Error::Codec(format!("store rename {}: {e}", path.display())))?;
+        }
+        Ok(())
+    }
+
+    /// Fetches the payload stored under `key` — memory first, then the
+    /// persistent directory. Every read re-verifies the payload
+    /// fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::StoreCorrupt`] if the entry fails its integrity
+    /// check (recomputed payload fingerprint differs from the recorded
+    /// one, or a persisted envelope is filed under the wrong key).
+    pub fn get(&self, key: Fingerprint) -> Result<Option<Value>> {
+        if let Some(entry) = self.lock_entries().get(&key) {
+            if payload_fingerprint(&entry.payload) != entry.payload_fp {
+                return Err(Error::StoreCorrupt {
+                    key: key.to_hex(),
+                    detail: "in-memory payload no longer matches its recorded fingerprint".into(),
+                });
+            }
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(entry.payload.clone()));
+        }
+        let Some(dir) = &self.dir else { return Ok(None) };
+        let path = Self::entry_path(dir, key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(Error::Codec(format!("store read {}: {e}", path.display())));
+            }
+        };
+        let entry = Self::decode_envelope(key, &text)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        let payload = entry.payload.clone();
+        self.lock_entries().insert(key, entry);
+        Ok(Some(payload))
+    }
+
+    fn decode_envelope(key: Fingerprint, text: &str) -> Result<Entry> {
+        let corrupt = |detail: String| Error::StoreCorrupt { key: key.to_hex(), detail };
+        let doc: Value = serde_json::from_str(text)
+            .map_err(|e| corrupt(format!("entry is not well-formed JSON: {e}")))?;
+        let format = doc.get("format").and_then(Value::as_str).unwrap_or("<missing>");
+        if format != FORMAT {
+            return Err(corrupt(format!("entry format `{format}` is not `{FORMAT}`")));
+        }
+        let filed_key = doc.get("key").and_then(Value::as_str).unwrap_or("<missing>");
+        if filed_key != key.to_hex() {
+            return Err(corrupt(format!("entry is filed under foreign key {filed_key}")));
+        }
+        let recorded = doc
+            .get("payload_fingerprint")
+            .and_then(Value::as_str)
+            .ok_or_else(|| corrupt("entry has no payload fingerprint".into()))?;
+        let recorded = Fingerprint::from_hex(recorded)
+            .map_err(|e| corrupt(format!("unreadable payload fingerprint: {e}")))?;
+        let payload =
+            doc.get("payload").cloned().ok_or_else(|| corrupt("entry has no payload".into()))?;
+        let actual = payload_fingerprint(&payload);
+        if actual != recorded {
+            return Err(corrupt(format!(
+                "payload fingerprint mismatch: recorded {}, recomputed {}",
+                recorded.to_hex(),
+                actual.to_hex()
+            )));
+        }
+        Ok(Entry { payload, payload_fp: recorded })
+    }
+
+    /// Whether `key` has a (memory or disk) entry, without verifying it.
+    #[must_use]
+    pub fn contains(&self, key: Fingerprint) -> bool {
+        if self.lock_entries().contains_key(&key) {
+            return true;
+        }
+        self.dir.as_deref().is_some_and(|dir| Self::entry_path(dir, key).exists())
+    }
+
+    /// Number of in-memory entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock_entries().len()
+    }
+
+    /// Whether the in-memory store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock_entries().is_empty()
+    }
+
+    /// Number of successful reads answered so far (memory or disk).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Saves a GA checkpoint document for an in-flight job — the re-claim
+    /// of an expired lease resumes from here instead of generation 0.
+    pub fn put_checkpoint(&self, key: Fingerprint, doc: Value) {
+        self.lock_checkpoints().insert(key, doc);
+    }
+
+    /// The latest checkpoint for `key`, if any.
+    #[must_use]
+    pub fn checkpoint(&self, key: Fingerprint) -> Option<Value> {
+        self.lock_checkpoints().get(&key).cloned()
+    }
+
+    /// Drops `key`'s checkpoint (called once the final payload landed).
+    pub fn clear_checkpoint(&self, key: Fingerprint) {
+        self.lock_checkpoints().remove(&key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u128) -> Fingerprint {
+        Fingerprint::from_raw(n)
+    }
+
+    #[test]
+    fn put_get_round_trip_in_memory() {
+        let store = ResultStore::in_memory();
+        assert_eq!(store.get(key(1)).unwrap(), None);
+        store.put(key(1), json!({"x": 7})).unwrap();
+        assert_eq!(store.get(key(1)).unwrap(), Some(json!({"x": 7})));
+        assert!(store.contains(key(1)));
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn persistent_entries_survive_a_new_store() {
+        let dir = std::env::temp_dir().join("cohort-fleet-store-persist-test");
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let store = ResultStore::persistent(&dir).unwrap();
+            store.put(key(0xabc), json!({"outcome": [1, 2, 3]})).unwrap();
+        }
+        let fresh = ResultStore::persistent(&dir).unwrap();
+        assert!(fresh.contains(key(0xabc)));
+        assert_eq!(fresh.get(key(0xabc)).unwrap(), Some(json!({"outcome": [1, 2, 3]})));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_entries_are_detected() {
+        let dir = std::env::temp_dir().join("cohort-fleet-store-tamper-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ResultStore::persistent(&dir).unwrap();
+        store.put(key(0xdead), json!({"wcml": 212})).unwrap();
+
+        // Flip a payload byte on disk behind the store's back.
+        let path = dir.join(format!("{}.json", key(0xdead).to_hex()));
+        let tampered = std::fs::read_to_string(&path).unwrap().replace("212", "211");
+        std::fs::write(&path, tampered).unwrap();
+
+        let fresh = ResultStore::persistent(&dir).unwrap();
+        let err = fresh.get(key(0xdead)).unwrap_err();
+        assert!(matches!(err, Error::StoreCorrupt { .. }), "{err}");
+        assert!(err.to_string().contains("mismatch"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_and_garbage_envelopes_are_corrupt() {
+        let dir = std::env::temp_dir().join("cohort-fleet-store-foreign-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ResultStore::persistent(&dir).unwrap();
+        store.put(key(1), json!(1)).unwrap();
+        // File key 1's envelope under key 2.
+        std::fs::copy(
+            dir.join(format!("{}.json", key(1).to_hex())),
+            dir.join(format!("{}.json", key(2).to_hex())),
+        )
+        .unwrap();
+        let fresh = ResultStore::persistent(&dir).unwrap();
+        let err = fresh.get(key(2)).unwrap_err();
+        assert!(err.to_string().contains("foreign key"), "{err}");
+        // Garbage bytes are corrupt, not a crash.
+        std::fs::write(dir.join(format!("{}.json", key(3).to_hex())), "}{").unwrap();
+        assert!(matches!(fresh.get(key(3)), Err(Error::StoreCorrupt { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoints_are_a_separate_keyspace() {
+        let store = ResultStore::in_memory();
+        store.put_checkpoint(key(9), json!({"generation": 4}));
+        assert_eq!(store.get(key(9)).unwrap(), None, "checkpoints never alias results");
+        assert_eq!(store.checkpoint(key(9)), Some(json!({"generation": 4})));
+        store.clear_checkpoint(key(9));
+        assert_eq!(store.checkpoint(key(9)), None);
+    }
+}

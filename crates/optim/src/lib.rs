@@ -62,5 +62,3 @@ pub use observer::{GaObserver, GenerationReport};
 pub use timer_problem::{
     optimize_timers, GaRun, TimerAssignment, TimerProblem, TimerProblemBuilder,
 };
-#[allow(deprecated)]
-pub use timer_problem::{solve, solve_observed, solve_seeded};

@@ -107,7 +107,7 @@ impl<'w> TimerProblemBuilder<'w> {
     /// curves under the contended per-request WCL, whose stretched timeline
     /// can keep rewarding timers slightly above this box. Matching the
     /// paper keeps the search box small; the corner seeds in
-    /// [`crate::solve`] cover the box edges.
+    /// [`GaRun::run`] cover the box edges.
     ///
     /// # Errors
     ///
@@ -434,44 +434,6 @@ impl<'a, 'w> GaRun<'a, 'w> {
 /// See the crate-level example.
 pub fn optimize_timers(problem: &TimerProblem<'_>, config: &GaConfig) -> Result<TimerAssignment> {
     GaRun::new(problem).config(config).run_feasible()
-}
-
-/// Like [`optimize_timers`] but returns the raw GA outcome.
-#[deprecated(since = "0.2.0", note = "use `GaRun::new(problem).config(config).run()`")]
-#[must_use]
-pub fn solve(problem: &TimerProblem<'_>, config: &GaConfig) -> GaOutcome {
-    GaRun::new(problem).config(config).run()
-}
-
-/// [`GaRun::run`] with additional seed chromosomes injected into the
-/// initial population.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `GaRun::new(problem).config(config).seeds(extra_seeds).run()`"
-)]
-#[must_use]
-pub fn solve_seeded(
-    problem: &TimerProblem<'_>,
-    config: &GaConfig,
-    extra_seeds: &[Vec<u64>],
-) -> GaOutcome {
-    GaRun::new(problem).config(config).seeds(extra_seeds.to_vec()).run()
-}
-
-/// [`GaRun::run`] with seed chromosomes and a [`GaObserver`] progress
-/// hook.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `GaRun::new(problem).config(config).seeds(extra_seeds).observer(observer).run()`"
-)]
-#[must_use]
-pub fn solve_observed(
-    problem: &TimerProblem<'_>,
-    config: &GaConfig,
-    extra_seeds: &[Vec<u64>],
-    observer: &dyn GaObserver,
-) -> GaOutcome {
-    GaRun::new(problem).config(config).seeds(extra_seeds.to_vec()).observer(observer).run()
 }
 
 /// The do-nothing observer behind a [`GaRun`] with no explicit observer.

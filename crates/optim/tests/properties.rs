@@ -207,7 +207,7 @@ fn resume_matches_uninterrupted_across_fixed_cuts() {
 
 #[test]
 fn timer_solve_is_identical_serial_and_parallel() {
-    // The real fitness (cache analysis + Eq. 1) through `solve`, serial vs
+    // The real fitness (cache analysis + Eq. 1) through `GaRun`, serial vs
     // parallel: the shipped Mode-Switch LUT must not depend on the host's
     // core count.
     let workload = micro::line_bursts(2, 4, 60);

@@ -235,23 +235,6 @@ impl Simulator {
     pub fn new(config: SimConfig, workload: &Workload) -> Result<Self> {
         Simulator::with_probe(config, workload, NoProbe)
     }
-
-    /// Creates an uninstrumented simulator that injects `plan`'s faults.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::InvalidConfig`] if the workload's core count does
-    /// not match the configuration or the plan targets an out-of-range
-    /// core.
-    pub fn with_faults(config: SimConfig, workload: &Workload, plan: FaultPlan) -> Result<Self> {
-        Simulator::with_probe_and_faults(config, workload, NoProbe, plan)
-    }
-
-    /// Starts a [`SimBuilder`] — equivalent to [`SimBuilder::new`].
-    #[must_use]
-    pub fn builder(config: SimConfig, workload: &Workload) -> SimBuilder<'_, NoProbe> {
-        SimBuilder::new(config, workload)
-    }
 }
 
 impl<P: SimProbe> Simulator<P> {

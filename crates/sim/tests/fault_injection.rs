@@ -18,7 +18,7 @@ use proptest::prelude::*;
 
 use cohort_sim::{
     CacheGeometry, EventLogProbe, FaultKind, FaultPlan, FaultSpec, InvariantKind, InvariantProbe,
-    LlcModel, MetricsProbe, ProtocolFlavor, SimConfig, SimProbe, Simulator, WcmlGuard,
+    LlcModel, MetricsProbe, ProtocolFlavor, SimBuilder, SimConfig, SimProbe, Simulator, WcmlGuard,
     WcmlViolationKind,
 };
 use cohort_trace::{micro, Trace, TraceOp, Workload};
@@ -371,5 +371,5 @@ fn plans_targeting_missing_cores_are_rejected() {
     let plan = FaultPlan::new(vec![spec(FaultKind::BusDrop, 7, 1)]);
     let config = SimConfig::builder(2).build().expect("valid config");
     let w = micro::ping_pong(2, 4);
-    assert!(Simulator::with_faults(config, &w, plan).is_err());
+    assert!(SimBuilder::new(config, &w).faults(plan).build().is_err());
 }

@@ -61,6 +61,25 @@ pub enum Error {
         /// The cycle at which the watchdog gave up.
         cycle: u64,
     },
+    /// A fleet worker tried to complete a job whose lease had already
+    /// expired and been re-claimed at a newer epoch. The late result is
+    /// discarded — determinism guarantees the re-claimer recomputes the
+    /// identical outcome, so nothing is lost.
+    LeaseExpired {
+        /// The epoch the stale completion was claimed at.
+        held: u64,
+        /// The epoch the job has since advanced to.
+        current: u64,
+    },
+    /// A content-addressed store entry failed its integrity check: the
+    /// payload's recomputed fingerprint does not match the one recorded
+    /// when the entry was written (disk corruption or a tampered file).
+    StoreCorrupt {
+        /// The entry's content-address key (hex fingerprint).
+        key: String,
+        /// What the corruption check found wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -81,6 +100,16 @@ impl fmt::Display for Error {
             Error::JobPanicked(msg) => write!(f, "job panicked: {msg}"),
             Error::Deadlock { cycle } => {
                 write!(f, "simulator made no observable progress (deadlock at cycle {cycle})")
+            }
+            Error::LeaseExpired { held, current } => {
+                write!(
+                    f,
+                    "stale completion at epoch {held}: the job's lease expired and it was \
+                     re-claimed at epoch {current}"
+                )
+            }
+            Error::StoreCorrupt { key, detail } => {
+                write!(f, "store entry {key} is corrupt: {detail}")
             }
         }
     }
@@ -103,6 +132,11 @@ mod tests {
             Error::Infeasible("core 0 requirement too tight".into()),
             Error::JobPanicked("index out of bounds".into()),
             Error::Deadlock { cycle: 2_000_001 },
+            Error::LeaseExpired { held: 1, current: 2 },
+            Error::StoreCorrupt {
+                key: "00ab".into(),
+                detail: "payload fingerprint mismatch".into(),
+            },
         ];
         for err in cases {
             let s = err.to_string();

@@ -11,6 +11,8 @@
 //! - the mixed-criticality task model ([`Criticality`], [`Mode`], [`Task`]),
 //! - the latency parameters of the modelled memory hierarchy
 //!   ([`LatencyConfig`]),
+//! - the fleet coordination vocabulary ([`Fingerprint`] content-addresses,
+//!   claim [`Epoch`]s and [`WorkerId`]s),
 //! - and a common error type ([`Error`]).
 //!
 //! # Examples
@@ -40,6 +42,7 @@
 
 mod criticality;
 mod error;
+mod fleet;
 mod ids;
 mod latency;
 mod task;
@@ -48,6 +51,7 @@ mod timer;
 
 pub use criticality::{Criticality, Mode};
 pub use error::Error;
+pub use fleet::{Epoch, Fingerprint, FingerprintBuilder, WorkerId};
 pub use ids::{Address, CoreId, LineAddr};
 pub use latency::LatencyConfig;
 pub use task::{Requirements, Task};
