@@ -1,0 +1,65 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! The real loom runs a test body under every legal interleaving of its
+//! modeled `sync` primitives. This stub cannot do that without the
+//! crates-io dependency tree, so it degrades to *stress* semantics:
+//! [`model`] runs the closure many times with real OS threads and real
+//! `std::sync` primitives, which still catches gross races, deadlocks and
+//! panics. CI with network access swaps in genuine loom and gets
+//! exhaustive interleaving coverage from the identical test source.
+
+/// Number of stress iterations standing in for loom's exhaustive
+/// exploration.
+const STRESS_ITERATIONS: usize = 64;
+
+/// Runs `f` repeatedly, as a stress stand-in for loom's exhaustive
+/// interleaving exploration.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for _ in 0..STRESS_ITERATIONS {
+        f();
+    }
+}
+
+/// Mirrors `loom::sync`: the real crate substitutes modeled primitives;
+/// the stub passes `std::sync` straight through.
+pub mod sync {
+    pub use std::sync::{
+        Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard,
+        RwLockWriteGuard, TryLockError, TryLockResult,
+    };
+
+    /// Mirrors `loom::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::*;
+    }
+}
+
+/// Mirrors `loom::thread`: real OS threads under the stub.
+pub mod thread {
+    pub use std::thread::*;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_the_body_with_real_threads() {
+        let total = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&total);
+        super::model(move || {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c = Arc::clone(&counter);
+            let t = super::thread::spawn(move || c.fetch_add(1, Ordering::SeqCst));
+            counter.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 2);
+            seen.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(total.load(Ordering::SeqCst), super::STRESS_ITERATIONS);
+    }
+}

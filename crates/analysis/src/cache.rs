@@ -19,7 +19,7 @@
 //! A process-wide instance is available through [`analysis_cache`]; the
 //! optimization engine and `analyze_cohort` route through it by default.
 
-use std::collections::HashMap;
+use std::collections::HashMap; // lint:allow(det-unordered) geometry-keyed memo of pure analysis results; lookup-only, never iterated
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{OnceLock, RwLock};
 

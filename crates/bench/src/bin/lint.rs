@@ -1,0 +1,98 @@
+//! Workspace static-analysis gate — the CI entry point of `cohort-lint`.
+//!
+//! ```text
+//! cargo run --release -p cohort-bench --bin lint [-- --json <path>] [--root <dir>]
+//! ```
+//!
+//! Walks every library source file of the workspace, runs the DET / FPR /
+//! LCK passes, applies `// lint:allow(<code>) <justification>` markers,
+//! prints every diagnostic (suppressed ones flagged as justified), and
+//! exits non-zero when any *unsuppressed* diagnostic remains. `--json`
+//! additionally writes the machine-readable report (`lint/1` schema,
+//! validated by `schema_check --lint`).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cohort_bench::report::{ReportWriter, LINT};
+use cohort_bench::write_json;
+use cohort_lint::analyze_workspace;
+use serde_json::json;
+
+const USAGE: &str = "usage: lint [--json <path>] [--root <dir>]";
+
+struct Options {
+    json: Option<PathBuf>,
+    root: Option<PathBuf>,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut options = Options { json: None, root: None };
+    let mut args = args.skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                options.json = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
+            }
+            "--root" => {
+                options.root = Some(PathBuf::from(args.next().ok_or("--root needs a dir")?));
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+/// The workspace root: `--root` when given, else the bench crate's
+/// grandparent (`crates/bench/../..`), so the gate works from any cwd.
+fn workspace_root(options: &Options) -> PathBuf {
+    options
+        .root
+        .clone()
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join(".."))
+}
+
+fn main() -> ExitCode {
+    let options = parse_args(std::env::args()).unwrap_or_else(|message| {
+        eprintln!("{message}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    });
+    let root = workspace_root(&options);
+    let analysis = match analyze_workspace(&root) {
+        Ok(analysis) => analysis,
+        Err(err) => {
+            eprintln!("lint: cannot scan {}: {err}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "lint: {} files scanned, {} diagnostics ({} justified, {} unsuppressed)",
+        analysis.files_scanned,
+        analysis.diagnostics.len(),
+        analysis.suppressed(),
+        analysis.unsuppressed(),
+    );
+    for diag in &analysis.diagnostics {
+        println!("  {}", diag.render());
+    }
+
+    if let Some(path) = &options.json {
+        let writer = ReportWriter::new(&LINT, "lint");
+        let doc = writer.envelope(json!({
+            "report": analysis.to_json_value(),
+        }));
+        if let Err(err) = write_json(path, &doc) {
+            eprintln!("lint: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+
+    if analysis.unsuppressed() > 0 {
+        eprintln!("lint: {} unsuppressed diagnostics", analysis.unsuppressed());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -111,7 +111,18 @@ fn main() {
     );
     let space = SearchSpace::new(vec![(0, u64::from(u16::MAX)); 6]);
     let serial = timed_run(&space, &GaConfig { workers: 1, ..base.clone() }, reps, spins);
-    let parallel = timed_run(&space, &GaConfig { workers: 0, ..base.clone() }, reps, spins);
+    // `--workers` forces the parallel leg's worker count (0 = resolve from
+    // the host); useful both to pin CI runs and to measure oversubscription
+    // on small hosts.
+    let parallel_workers = options.workers.unwrap_or(0);
+    let parallel =
+        timed_run(&space, &GaConfig { workers: parallel_workers, ..base.clone() }, reps, spins);
+    if parallel.workers > host_parallelism {
+        println!(
+            "(forced {} workers on {host_parallelism} CPU(s): oversubscribed, expect no speedup)\n",
+            parallel.workers
+        );
+    }
 
     // Determinism is the engine's core contract: refuse to report a
     // speedup for a solver that changes its answer with the thread count.
@@ -163,6 +174,7 @@ fn main() {
         let report = json!({
             "quick": options.quick,
             "host_parallelism": host_parallelism,
+            "workers_forced": options.workers,
             "population": base.population,
             "generations": base.generations,
             "spins": spins,

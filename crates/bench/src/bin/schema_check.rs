@@ -2,7 +2,8 @@
 //! names a document kind in the validator registry below: a `--report`
 //! figure report, a `--trace` Chrome-trace file, an `--optim` GA-engine
 //! benchmark report, a `--chaos` fault-campaign report, a `--sim`
-//! engine-throughput report, or a `--fleet` fleet-service report. Exits
+//! engine-throughput report, a `--fleet` fleet-service report, or a
+//! `--lint` static-analysis report. Exits
 //! non-zero on the first schema violation — CI runs this after a smoke
 //! regeneration.
 //!
@@ -502,6 +503,62 @@ fn check_fleet(doc: &serde_json::Value) -> CheckResult {
     Ok(())
 }
 
+/// Checks a `lint` static-analysis document (`--lint`, the CI gate's
+/// `--json` output).
+fn check_lint(doc: &serde_json::Value) -> CheckResult {
+    report::LINT.check(doc)?;
+    if get(doc, "generator", "lint")?.as_str() != Some("lint") {
+        return Err("lint: `generator` is not \"lint\"".into());
+    }
+    let rep = get(doc, "report", "lint")?;
+    let what = "lint.report";
+    for key in ["files_scanned", "total", "suppressed", "unsuppressed"] {
+        expect_u64(rep, key, what)?;
+    }
+    let count = |key: &str| get(rep, key, what).ok().and_then(serde_json::Value::as_u64);
+    if count("files_scanned") == Some(0) {
+        return Err(format!("{what}: zero files scanned — the walker found nothing"));
+    }
+    let total = count("total").unwrap_or(0);
+    let suppressed = count("suppressed").unwrap_or(0);
+    let unsuppressed = count("unsuppressed").unwrap_or(0);
+    if suppressed + unsuppressed != total {
+        return Err(format!(
+            "{what}: suppressed {suppressed} + unsuppressed {unsuppressed} != total {total}"
+        ));
+    }
+    // The gate invariant: CI artifacts must be clean.
+    if unsuppressed != 0 {
+        return Err(format!("{what}: {unsuppressed} unsuppressed diagnostics"));
+    }
+    let diags = get(rep, "diagnostics", what)?
+        .as_array()
+        .ok_or_else(|| format!("{what}: `diagnostics` is not an array"))?;
+    if diags.len() as u64 != total {
+        return Err(format!("{what}: {} diagnostics listed, total says {total}", diags.len()));
+    }
+    for (index, diag) in diags.iter().enumerate() {
+        let what = format!("lint.report.diagnostics[{index}]");
+        for key in ["code", "file", "message", "rationale"] {
+            expect_str(diag, key, &what)?;
+        }
+        expect_u64(diag, "line", &what)?;
+        // Everything surviving in a clean report is a justified
+        // suppression: the justification must be written down.
+        if get(diag, "suppressed", &what)?.as_bool() != Some(true) {
+            return Err(format!("{what}: unsuppressed diagnostic in a clean report"));
+        }
+        if get(diag, "justification", &what)?.as_str().is_none_or(str::is_empty) {
+            return Err(format!("{what}: suppression carries no justification"));
+        }
+    }
+    println!(
+        "lint ok: {} files, {total} diagnostics, all justified",
+        count("files_scanned").unwrap_or(0)
+    );
+    Ok(())
+}
+
 /// One entry in the validator registry: the CLI flag that selects it and
 /// the checker it dispatches to. New document kinds join by adding a row.
 struct Validator {
@@ -516,6 +573,7 @@ const VALIDATORS: &[Validator] = &[
     Validator { flag: "--chaos", check: check_chaos },
     Validator { flag: "--sim", check: check_sim },
     Validator { flag: "--fleet", check: check_fleet },
+    Validator { flag: "--lint", check: check_lint },
 ];
 
 fn usage() -> String {

@@ -447,11 +447,15 @@ pub struct CliOptions {
     /// `--trace <path>`: write a Chrome/Perfetto trace of one
     /// representative CoHoRT run.
     pub trace: Option<PathBuf>,
+    /// `--workers <n>`: force the parallel worker count where a bin runs
+    /// a concurrent engine (the `optim` bin's parallel leg). `0` means
+    /// "resolve from host parallelism", matching `GaConfig::workers`.
+    pub workers: Option<usize>,
 }
 
 /// The usage line shared by every bin's flag-error message.
 pub const CLI_USAGE: &str = "usage: [--full|--quick] [--config <slug>] [--json <path>] \
-                             [--metrics] [--trace <path>]";
+                             [--metrics] [--trace <path>] [--workers <n>]";
 
 impl CliOptions {
     /// Parses `std::env::args`-style arguments.
@@ -480,6 +484,11 @@ impl CliOptions {
                 "--metrics" => options.metrics = true,
                 "--trace" => {
                     options.trace = Some(PathBuf::from(args.next().ok_or("--trace needs a path")?));
+                }
+                "--workers" => {
+                    let count = args.next().ok_or("--workers needs a count")?;
+                    options.workers =
+                        Some(count.parse().map_err(|_| format!("invalid worker count `{count}`"))?);
                 }
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -546,6 +555,8 @@ mod tests {
                 "--metrics",
                 "--trace",
                 "out/trace.json",
+                "--workers",
+                "4",
             ]
             .iter()
             .map(ToString::to_string),
@@ -556,6 +567,14 @@ mod tests {
         assert_eq!(opts.json.as_deref(), Some(Path::new("out/fig5.json")));
         assert!(opts.metrics);
         assert_eq!(opts.trace.as_deref(), Some(Path::new("out/trace.json")));
+        assert_eq!(opts.workers, Some(4));
+    }
+
+    #[test]
+    fn cli_rejects_bad_worker_counts() {
+        let err = CliOptions::parse(["bin", "--workers", "many"].iter().map(ToString::to_string))
+            .unwrap_err();
+        assert!(err.contains("invalid worker count"), "unexpected message: {err}");
     }
 
     #[test]

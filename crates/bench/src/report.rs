@@ -39,6 +39,8 @@ pub const FIG7: Schema = Schema::new("fig7", 1);
 pub const SCHEDULABILITY: Schema = Schema::new("schedulability", 1);
 /// Mode-switch cost table reports (the `table2` bin).
 pub const TABLE2: Schema = Schema::new("table2", 1);
+/// Static-analysis reports (the `lint` bin).
+pub const LINT: Schema = Schema::new("lint", 1);
 
 impl Schema {
     /// A schema constant.

@@ -33,12 +33,15 @@
 #![warn(missing_docs)]
 
 mod client;
+pub mod clock;
 mod queue;
 mod spec;
 mod store;
+pub mod sync;
 mod worker;
 
 pub use client::{Fleet, FleetBuilder, FleetClient, FleetStats, Ticket};
+pub use clock::{Clock, SystemClock, TestClock};
 pub use queue::{Claim, JobQueue, QueueStats};
 pub use spec::JobSpec;
 pub use store::{payload_fingerprint, ResultStore};

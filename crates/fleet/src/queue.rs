@@ -9,14 +9,23 @@
 //! epoch and is rejected with [`Error::LeaseExpired`]; determinism makes
 //! the rejection lossless, because the re-claimer recomputes the
 //! bit-identical result.
+//!
+//! Time is injected ([`Clock`]): deadlines are nanosecond ticks on
+//! whatever monotonic axis the clock provides. Production uses
+//! [`SystemClock`]; tests and the loom models drive a
+//! [`crate::TestClock`] by hand, so every expiry path is exercised
+//! deterministically. The sync primitives come from [`crate::sync`], so
+//! `--cfg loom` swaps them for loom's modeled versions.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::{Duration, Instant};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, PoisonError};
+use std::time::Duration;
 
 use cohort_types::{Epoch, Error, Fingerprint, Result, WorkerId};
 
+use crate::clock::{Clock, SystemClock};
 use crate::spec::JobSpec;
+use crate::sync::{Condvar, Mutex, MutexGuard};
 
 /// One claimed job, as handed to a worker shard.
 #[derive(Debug, Clone)]
@@ -32,7 +41,7 @@ pub struct Claim {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Status {
     Pending,
-    Claimed { worker: WorkerId, deadline: Instant },
+    Claimed { worker: WorkerId, deadline_ns: u64 },
     Done,
 }
 
@@ -44,7 +53,7 @@ struct JobState {
 
 #[derive(Default)]
 struct QueueState {
-    jobs: HashMap<Fingerprint, JobState>,
+    jobs: BTreeMap<Fingerprint, JobState>,
     pending: VecDeque<Fingerprint>,
     closed: bool,
     submitted: u64,
@@ -70,7 +79,8 @@ pub struct QueueStats {
 pub struct JobQueue {
     state: Mutex<QueueState>,
     cv: Condvar,
-    lease: Duration,
+    lease_ns: u64,
+    clock: Arc<dyn Clock>,
 }
 
 impl std::fmt::Debug for JobQueue {
@@ -79,20 +89,29 @@ impl std::fmt::Debug for JobQueue {
         f.debug_struct("JobQueue")
             .field("jobs", &st.jobs.len())
             .field("pending", &st.pending.len())
-            .field("lease", &self.lease)
+            .field("lease_ns", &self.lease_ns)
             .finish_non_exhaustive()
     }
 }
 
 impl JobQueue {
     /// Creates a queue whose claims lease for `lease` (clamped to at
-    /// least one millisecond).
+    /// least one millisecond), timed by the host's monotonic clock.
     #[must_use]
     pub fn new(lease: Duration) -> Self {
+        Self::with_clock(lease, Arc::new(SystemClock::new()))
+    }
+
+    /// Creates a queue timed by an injected [`Clock`] — the deterministic
+    /// entry point for tests and loom models.
+    #[must_use]
+    pub fn with_clock(lease: Duration, clock: Arc<dyn Clock>) -> Self {
+        let lease = lease.max(Duration::from_millis(1));
         JobQueue {
             state: Mutex::new(QueueState::default()),
             cv: Condvar::new(),
-            lease: lease.max(Duration::from_millis(1)),
+            lease_ns: u64::try_from(lease.as_nanos()).unwrap_or(u64::MAX),
+            clock,
         }
     }
 
@@ -105,7 +124,7 @@ impl JobQueue {
     /// The configured lease duration.
     #[must_use]
     pub fn lease(&self) -> Duration {
-        self.lease
+        Duration::from_nanos(self.lease_ns)
     }
 
     /// Submits `spec`, deduplicating on its fingerprint: a job already
@@ -164,11 +183,13 @@ impl JobQueue {
     }
 
     /// Moves every expired lease back to pending at the next epoch.
-    fn sweep_expired(st: &mut QueueState, now: Instant) {
+    /// `jobs` is a `BTreeMap`, so the sweep (and therefore the re-queue
+    /// order of simultaneously expired leases) is deterministic.
+    fn sweep_expired(st: &mut QueueState, now_ns: u64) {
         let mut expired: Vec<Fingerprint> = Vec::new();
         for (fp, job) in &st.jobs {
-            if let Status::Claimed { deadline, .. } = job.status {
-                if deadline <= now {
+            if let Status::Claimed { deadline_ns, .. } = job.status {
+                if deadline_ns <= now_ns {
                     expired.push(*fp);
                 }
             }
@@ -182,6 +203,26 @@ impl JobQueue {
         }
     }
 
+    /// Claims the front pending job for `worker` under an already-held
+    /// lock, sweeping expired leases first.
+    fn claim_locked(&self, st: &mut QueueState, worker: WorkerId) -> Option<Claim> {
+        let now_ns = self.clock.now_ns();
+        Self::sweep_expired(st, now_ns);
+        let fingerprint = st.pending.pop_front()?;
+        let job = st.jobs.get_mut(&fingerprint).expect("pending job exists");
+        job.status = Status::Claimed { worker, deadline_ns: now_ns.saturating_add(self.lease_ns) };
+        Some(Claim { fingerprint, spec: Arc::clone(&job.spec), epoch: job.epoch })
+    }
+
+    /// Claims a job for `worker` if one is claimable *right now* (after
+    /// sweeping expired leases), without blocking. The non-blocking core
+    /// of [`JobQueue::claim`], and the surface the loom models drive.
+    #[must_use]
+    pub fn try_claim(&self, worker: WorkerId) -> Option<Claim> {
+        let mut st = self.lock();
+        self.claim_locked(&mut st, worker)
+    }
+
     /// Blocks until a job is claimable (or the queue is closed and
     /// drained), then claims it for `worker`. Expired leases of crashed
     /// workers are swept and re-claimed here, at the advanced epoch.
@@ -192,13 +233,8 @@ impl JobQueue {
     pub fn claim(&self, worker: WorkerId) -> Option<Claim> {
         let mut st = self.lock();
         loop {
-            let now = Instant::now();
-            Self::sweep_expired(&mut st, now);
-            if let Some(fingerprint) = st.pending.pop_front() {
-                let lease = self.lease;
-                let job = st.jobs.get_mut(&fingerprint).expect("pending job exists");
-                job.status = Status::Claimed { worker, deadline: now + lease };
-                return Some(Claim { fingerprint, spec: Arc::clone(&job.spec), epoch: job.epoch });
+            if let Some(claim) = self.claim_locked(&mut st, worker) {
+                return Some(claim);
             }
             let in_flight = st.jobs.values().any(|j| matches!(j.status, Status::Claimed { .. }));
             if st.closed && !in_flight {
@@ -207,23 +243,37 @@ impl JobQueue {
                 self.cv.notify_all();
                 return None;
             }
-            // Wake when notified or in time to sweep the earliest lease.
-            let timeout = st
-                .jobs
-                .values()
-                .filter_map(|j| match j.status {
-                    Status::Claimed { deadline, .. } => {
-                        Some(deadline.saturating_duration_since(now))
-                    }
-                    _ => None,
-                })
-                .min()
-                .unwrap_or(self.lease)
-                .max(Duration::from_millis(1));
-            let (guard, _) =
-                self.cv.wait_timeout(st, timeout).unwrap_or_else(PoisonError::into_inner);
-            st = guard;
+            st = self.wait_for_change(st);
         }
+    }
+
+    /// Parks until the queue is notified — or, outside loom, until it is
+    /// time to sweep the earliest lease (the host clock keeps moving on
+    /// its own, so the wait must poll).
+    #[cfg(not(loom))]
+    fn wait_for_change<'q>(&'q self, st: MutexGuard<'q, QueueState>) -> MutexGuard<'q, QueueState> {
+        let now_ns = self.clock.now_ns();
+        let timeout = st
+            .jobs
+            .values()
+            .filter_map(|j| match j.status {
+                Status::Claimed { deadline_ns, .. } => {
+                    Some(Duration::from_nanos(deadline_ns.saturating_sub(now_ns)))
+                }
+                _ => None,
+            })
+            .min()
+            .unwrap_or(Duration::from_nanos(self.lease_ns))
+            .max(Duration::from_millis(1));
+        let (guard, _) = self.cv.wait_timeout(st, timeout).unwrap_or_else(PoisonError::into_inner);
+        guard
+    }
+
+    /// Under loom there is no timed wait (and no self-moving clock):
+    /// block until another modeled thread notifies.
+    #[cfg(loom)]
+    fn wait_for_change<'q>(&'q self, st: MutexGuard<'q, QueueState>) -> MutexGuard<'q, QueueState> {
+        self.cv.wait(st).unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Records `fingerprint` as completed by the claim taken at `epoch`.
@@ -262,11 +312,18 @@ impl JobQueue {
                 None if st.closed => return false,
                 Some(_) | None => {}
             }
-            let (guard, _) = self
-                .cv
-                .wait_timeout(st, Duration::from_millis(50))
-                .unwrap_or_else(PoisonError::into_inner);
-            st = guard;
+            #[cfg(not(loom))]
+            {
+                let (guard, _) = self
+                    .cv
+                    .wait_timeout(st, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+            }
+            #[cfg(loom)]
+            {
+                st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
         }
     }
 
@@ -293,6 +350,7 @@ impl JobQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::TestClock;
     use cohort::Protocol;
     use cohort_trace::micro;
     use cohort_types::Criticality;
@@ -307,6 +365,11 @@ mod tests {
             protocol: Protocol::Msi,
             workload: Arc::new(micro::ping_pong(2, n)),
         }
+    }
+
+    fn clocked(lease: Duration) -> (JobQueue, Arc<TestClock>) {
+        let clock = Arc::new(TestClock::new());
+        (JobQueue::with_clock(lease, Arc::clone(&clock) as Arc<dyn Clock>), clock)
     }
 
     #[test]
@@ -329,11 +392,11 @@ mod tests {
 
     #[test]
     fn expired_leases_are_reclaimed_at_the_next_epoch() {
-        let q = JobQueue::new(Duration::from_millis(20));
+        let (q, clock) = clocked(Duration::from_millis(20));
         let (fp, _) = q.submit(job(6)).unwrap();
         let dead = q.claim(WorkerId::new(0)).unwrap();
         assert_eq!(dead.epoch, Epoch::FIRST);
-        std::thread::sleep(Duration::from_millis(40));
+        clock.advance(Duration::from_millis(40));
         // The next claimer sweeps the expired lease and re-claims.
         let alive = q.claim(WorkerId::new(1)).unwrap();
         assert_eq!(alive.fingerprint, fp);
@@ -348,15 +411,41 @@ mod tests {
 
     #[test]
     fn stale_completion_before_reclaim_is_also_rejected() {
-        let q = JobQueue::new(Duration::from_millis(10));
+        let (q, clock) = clocked(Duration::from_millis(10));
         let (fp, _) = q.submit(job(8)).unwrap();
         let dead = q.claim(WorkerId::new(0)).unwrap();
-        std::thread::sleep(Duration::from_millis(25));
+        clock.advance(Duration::from_millis(25));
         // Another claim sweeps the lease (epoch 2) even though it claims
         // the same job; the original epoch-1 completion must be refused.
         let second = q.claim(WorkerId::new(1)).unwrap();
         assert!(matches!(q.complete(fp, dead.epoch), Err(Error::LeaseExpired { .. })));
         q.complete(fp, second.epoch).unwrap();
+    }
+
+    #[test]
+    fn unexpired_lease_is_not_swept() {
+        let (q, clock) = clocked(Duration::from_millis(20));
+        let (fp, _) = q.submit(job(7)).unwrap();
+        let first = q.claim(WorkerId::new(0)).unwrap();
+        clock.advance(Duration::from_millis(19));
+        // One tick short of the deadline: nothing to claim, no reclaim.
+        assert!(q.try_claim(WorkerId::new(1)).is_none());
+        assert_eq!(q.stats().reclaims, 0);
+        clock.advance(Duration::from_millis(1));
+        let swept = q.try_claim(WorkerId::new(1)).expect("lease expired on the tick");
+        assert_eq!(swept.fingerprint, fp);
+        assert_eq!(q.stats().reclaims, 1);
+        drop(first);
+    }
+
+    #[test]
+    fn try_claim_is_nonblocking() {
+        let q = JobQueue::new(Duration::from_secs(10));
+        assert!(q.try_claim(WorkerId::new(0)).is_none(), "empty queue returns immediately");
+        let (fp, _) = q.submit(job(9)).unwrap();
+        let claim = q.try_claim(WorkerId::new(0)).expect("pending job claimable");
+        assert_eq!(claim.fingerprint, fp);
+        assert!(q.try_claim(WorkerId::new(1)).is_none(), "claimed job is not re-claimable");
     }
 
     #[test]

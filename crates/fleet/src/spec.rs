@@ -175,8 +175,7 @@ fn digest_protocol(b: FingerprintBuilder, protocol: &Protocol) -> FingerprintBui
 }
 
 fn digest_ga(b: FingerprintBuilder, ga: &GaConfig) -> FingerprintBuilder {
-    // `workers` is deliberately absent: parallelism never touches the RNG,
-    // so any worker count is the same computation.
+    // lint:allow(fpr-missed-field) workers is deliberately absent from the digest: parallelism never touches the RNG, so any worker count is the same computation and must share a fingerprint
     b.u64(ga.population as u64)
         .u64(ga.generations as u64)
         .u64(ga.tournament as u64)

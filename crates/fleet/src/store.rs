@@ -12,7 +12,7 @@
 //! `checkpoint-` file prefix): they are scratch state for lease re-claims,
 //! deleted once the job's final payload lands.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -45,8 +45,8 @@ struct Entry {
 /// a later fleet run answers repeated submissions from the store without
 /// executing anything.
 pub struct ResultStore {
-    entries: Mutex<HashMap<Fingerprint, Entry>>,
-    checkpoints: Mutex<HashMap<Fingerprint, Value>>,
+    entries: Mutex<BTreeMap<Fingerprint, Entry>>,
+    checkpoints: Mutex<BTreeMap<Fingerprint, Value>>,
     dir: Option<PathBuf>,
     hits: AtomicU64,
 }
@@ -65,8 +65,8 @@ impl ResultStore {
     #[must_use]
     pub fn in_memory() -> Self {
         ResultStore {
-            entries: Mutex::new(HashMap::new()),
-            checkpoints: Mutex::new(HashMap::new()),
+            entries: Mutex::new(BTreeMap::new()),
+            checkpoints: Mutex::new(BTreeMap::new()),
             dir: None,
             hits: AtomicU64::new(0),
         }
@@ -84,8 +84,8 @@ impl ResultStore {
         std::fs::create_dir_all(&dir)
             .map_err(|e| Error::Codec(format!("cannot create store dir {}: {e}", dir.display())))?;
         Ok(ResultStore {
-            entries: Mutex::new(HashMap::new()),
-            checkpoints: Mutex::new(HashMap::new()),
+            entries: Mutex::new(BTreeMap::new()),
+            checkpoints: Mutex::new(BTreeMap::new()),
             dir: Some(dir),
             hits: AtomicU64::new(0),
         })
@@ -93,11 +93,11 @@ impl ResultStore {
 
     // Chaos survival: a worker may panic (simulated kill) moments after a
     // store call returns; never let that poison the maps for its siblings.
-    fn lock_entries(&self) -> std::sync::MutexGuard<'_, HashMap<Fingerprint, Entry>> {
+    fn lock_entries(&self) -> std::sync::MutexGuard<'_, BTreeMap<Fingerprint, Entry>> {
         self.entries.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn lock_checkpoints(&self) -> std::sync::MutexGuard<'_, HashMap<Fingerprint, Value>> {
+    fn lock_checkpoints(&self) -> std::sync::MutexGuard<'_, BTreeMap<Fingerprint, Value>> {
         self.checkpoints.lock().unwrap_or_else(PoisonError::into_inner)
     }
 

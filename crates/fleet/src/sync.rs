@@ -1,0 +1,16 @@
+//! Sync primitives behind a loom-switchable facade.
+//!
+//! Compiled normally, these are `std::sync` re-exports. Compiled with
+//! `RUSTFLAGS="--cfg loom"`, loom's modeled primitives take their place
+//! and the fleet's queue state machine becomes model-checkable: the loom
+//! suite (`crates/fleet/tests/loom.rs`) explores thread interleavings of
+//! claim/complete/sweep instead of hoping a stress run hits the bad one.
+//!
+//! Only the primitives the queue actually uses are exported — keep this
+//! list short, it is the model-checking surface.
+
+#[cfg(loom)]
+pub use loom::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(not(loom))]
+pub use std::sync::{Condvar, Mutex, MutexGuard};

@@ -1,0 +1,171 @@
+//! DET — determinism lints for the outcome-determining crates.
+//!
+//! Everything the reproduction certifies (engine bit-equivalence,
+//! content-addressed memoization, kill/re-claim recomputation) relies on
+//! outcome-determining code being a pure function of its inputs. Three
+//! hazard families break that silently:
+//!
+//! - **det-unordered** — `HashMap`/`HashSet`: iteration order is seeded
+//!   per instance. Reported once per identifier per file, anchored at the
+//!   first mention, so one reviewed suppression covers one container
+//!   discipline.
+//! - **det-wallclock** — `Instant::now` / `SystemTime`: host timing leaks
+//!   into outcomes.
+//! - **det-rng** — `thread_rng` / `from_entropy` / `OsRng` /
+//!   `rand::random`: ambient entropy defeats seeded replay.
+
+use crate::registry::{is_outcome_determining, LintCode};
+use crate::report::Diagnostic;
+use crate::source::{find_words, SourceFile};
+
+/// The unordered-container identifiers.
+const UNORDERED: &[&str] = &["HashMap", "HashSet"];
+/// Wall-clock identifiers. `Instant` alone is fine (storing a deadline
+/// someone else measured is deterministic); *reading* the clock is not.
+const WALLCLOCK: &[&str] = &["SystemTime"];
+/// Ambient-randomness identifiers.
+const RNG: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+/// Runs the DET pass over one file, appending findings.
+pub fn run(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !is_outcome_determining(&file.crate_name) {
+        return;
+    }
+    // Unordered containers: first non-test mention per identifier, with
+    // the total count in the message so the hazard's size stays visible.
+    for ident in UNORDERED {
+        let mut first: Option<usize> = None;
+        let mut count = 0usize;
+        for (idx, line) in file.code.iter().enumerate() {
+            if file.is_test_line(idx + 1) {
+                continue;
+            }
+            let hits = find_words(line, ident).len();
+            if hits > 0 && first.is_none() {
+                first = Some(idx + 1);
+            }
+            count += hits;
+        }
+        if let Some(line) = first {
+            out.push(Diagnostic::new(
+                LintCode::DetUnordered,
+                &file.rel_path,
+                line,
+                format!(
+                    "`{ident}` in outcome-determining crate `{}` ({count} mention{}); use \
+                     BTree{} or suppress with the container's ordering discipline",
+                    file.crate_name,
+                    if count == 1 { "" } else { "s" },
+                    &ident[4..],
+                ),
+            ));
+        }
+    }
+    for (idx, line) in file.code.iter().enumerate() {
+        if file.is_test_line(idx + 1) {
+            continue;
+        }
+        // `Instant::now` is a two-token pattern: an `Instant` word whose
+        // suffix starts the call.
+        for start in find_words(line, "Instant") {
+            let rest = &line[start + "Instant".len()..];
+            if rest.trim_start().starts_with("::now") {
+                out.push(Diagnostic::new(
+                    LintCode::DetWallclock,
+                    &file.rel_path,
+                    idx + 1,
+                    "`Instant::now()` read in an outcome-determining crate".to_string(),
+                ));
+            }
+        }
+        for ident in WALLCLOCK {
+            for _ in find_words(line, ident) {
+                out.push(Diagnostic::new(
+                    LintCode::DetWallclock,
+                    &file.rel_path,
+                    idx + 1,
+                    format!("`{ident}` in an outcome-determining crate"),
+                ));
+            }
+        }
+        for ident in RNG {
+            for _ in find_words(line, ident) {
+                out.push(Diagnostic::new(
+                    LintCode::DetRng,
+                    &file.rel_path,
+                    idx + 1,
+                    format!("ambient randomness `{ident}` in an outcome-determining crate"),
+                ));
+            }
+        }
+        // `rand::random` is path-shaped, not a single identifier.
+        for start in find_words(line, "rand") {
+            let rest = &line[start + "rand".len()..];
+            if rest.starts_with("::random") {
+                out.push(Diagnostic::new(
+                    LintCode::DetRng,
+                    &file.rel_path,
+                    idx + 1,
+                    "ambient randomness `rand::random` in an outcome-determining crate".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(crate_name: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse("demo.rs", crate_name, src);
+        let mut out = Vec::new();
+        run(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn hash_collections_report_once_per_identifier() {
+        let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\n";
+        let diags = scan("cohort-fleet", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::DetUnordered);
+        assert_eq!(diags[0].line, 1);
+        assert!(diags[0].message.contains("2 mentions"));
+    }
+
+    #[test]
+    fn scope_is_limited_to_outcome_determining_crates() {
+        let src = "use std::collections::HashMap;\nlet t = Instant::now();\n";
+        assert!(scan("cohort-bench", src).is_empty());
+        assert_eq!(scan("cohort-sim", src).len(), 2);
+    }
+
+    #[test]
+    fn wallclock_and_rng_fire_per_occurrence() {
+        let src = "let a = Instant::now();\nlet b = SystemTime::now();\nlet c = thread_rng();\nlet d = rand::random::<u8>();\n";
+        let diags = scan("cohort-optim", src);
+        let codes: Vec<LintCode> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                LintCode::DetWallclock,
+                LintCode::DetWallclock,
+                LintCode::DetRng,
+                LintCode::DetRng
+            ]
+        );
+    }
+
+    #[test]
+    fn instant_without_now_is_not_a_read() {
+        let src = "fn deadline(at: Instant) -> Instant { at }\n";
+        assert!(scan("cohort-fleet", src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn t() { let _ = Instant::now(); }\n}\n";
+        assert!(scan("cohort-sim", src).is_empty());
+    }
+}

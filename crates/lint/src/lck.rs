@@ -1,0 +1,89 @@
+//! LCK — lock-poisoning hygiene.
+//!
+//! `.lock().unwrap()` in library code turns one worker's panic into a
+//! cascade: the poisoned mutex panics every sibling that touches it. The
+//! house style (PR 5) recovers the guard with `PoisonError::into_inner`
+//! — the protected state is a counter/map update, never left
+//! half-written across an unwind. Test code is exempt: a test that
+//! panics on a poisoned lock is failing loudly, which is what tests are
+//! for.
+
+use crate::registry::LintCode;
+use crate::report::Diagnostic;
+use crate::source::SourceFile;
+
+/// Whether `text` (already scrubbed of comments/strings) contains the
+/// `.lock().unwrap()` / `.read().unwrap()` / `.write().unwrap()` pattern
+/// once whitespace is ignored.
+fn poisoning_unwrap(text: &str) -> bool {
+    let squeezed: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+    ["lock().unwrap()", "read().unwrap()", "write().unwrap()"]
+        .iter()
+        .any(|needle| squeezed.contains(needle))
+}
+
+/// Runs the LCK pass over one file, appending findings.
+pub fn run(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.code.iter().enumerate() {
+        let lineno = idx + 1;
+        if file.is_test_line(lineno) {
+            continue;
+        }
+        let mut hit = poisoning_unwrap(line);
+        // Formatting may split the chain across lines; join with the next
+        // non-test line, but only charge the pair to the first line.
+        if !hit && lineno < file.code.len() && !file.is_test_line(lineno + 1) {
+            let joined = format!("{line}{}", file.code[idx + 1]);
+            hit = poisoning_unwrap(&joined) && !poisoning_unwrap(&file.code[idx + 1]);
+        }
+        if hit {
+            out.push(Diagnostic::new(
+                LintCode::LckUnwrap,
+                &file.rel_path,
+                lineno,
+                "`.lock().unwrap()` panics every thread after one poisoning panic; recover \
+                 with `unwrap_or_else(std::sync::PoisonError::into_inner)`"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse("demo.rs", "demo", src);
+        let mut out = Vec::new();
+        run(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_on_lock_is_flagged() {
+        let diags = scan("fn f(m: &std::sync::Mutex<u32>) { *m.lock().unwrap() += 1; }\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::LckUnwrap);
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn split_chain_is_charged_to_the_first_line() {
+        let diags = scan("let g = m\n    .lock()\n    .unwrap();\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn into_inner_recovery_is_clean() {
+        let src = "let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t(m: &std::sync::Mutex<u32>) { let _ = m.lock().unwrap(); }\n}\n";
+        assert!(scan(src).is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Diagnostics and the machine-readable report payload.
+
+use std::fmt::Write;
+
+use serde_json::{json, Value};
+
+use crate::registry::LintCode;
+
+/// One finding of one lint pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub code: LintCode,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: usize,
+    /// What was found, concretely (identifier, struct/field, pattern).
+    pub message: String,
+    /// Whether a justified suppression covers this finding.
+    pub suppressed: bool,
+    /// The suppression's written justification, when suppressed.
+    pub justification: Option<String>,
+    /// Line span (start, end) within which a suppression may sit instead
+    /// of pointing at `line` exactly — used by FPR, whose findings cover
+    /// a whole digest-function body.
+    pub span: Option<(usize, usize)>,
+    /// Token the suppression's justification must mention (the missed
+    /// field name) for span-based matching.
+    pub key: Option<String>,
+}
+
+impl Diagnostic {
+    /// A fresh, unsuppressed line-anchored diagnostic.
+    #[must_use]
+    pub fn new(code: LintCode, file: &str, line: usize, message: String) -> Self {
+        Diagnostic {
+            code,
+            file: file.to_string(),
+            line,
+            message,
+            suppressed: false,
+            justification: None,
+            span: None,
+            key: None,
+        }
+    }
+
+    /// The human-readable one-line rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mark = if self.suppressed { "allowed" } else { "error" };
+        let mut text =
+            format!("{mark}[{}] {}:{}: {}", self.code, self.file, self.line, self.message);
+        if let Some(justification) = &self.justification {
+            let _ = write!(text, " (justified: {justification})");
+        }
+        text
+    }
+
+    /// The JSON record of this diagnostic.
+    #[must_use]
+    pub fn to_json_value(&self) -> Value {
+        json!({
+            "code": self.code.as_str(),
+            "file": self.file.clone(),
+            "line": self.line,
+            "message": self.message.clone(),
+            "rationale": self.code.rationale(),
+            "suppressed": self.suppressed,
+            "justification": self.justification.clone(),
+        })
+    }
+}
+
+/// The outcome of one workspace analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Every diagnostic, suppressed ones included — a suppression makes a
+    /// hazard *justified*, not invisible.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    /// Diagnostics not covered by a justified suppression.
+    #[must_use]
+    pub fn unsuppressed(&self) -> usize {
+        self.diagnostics.iter().filter(|d| !d.suppressed).count()
+    }
+
+    /// Diagnostics covered by a justified suppression.
+    #[must_use]
+    pub fn suppressed(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.suppressed).count()
+    }
+
+    /// Sorts diagnostics into the stable reporting order
+    /// (file, line, code).
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| (&a.file, a.line, a.code).cmp(&(&b.file, b.line, b.code)));
+    }
+
+    /// The report payload (the bench bin wraps it in the schema
+    /// envelope): scan size, per-code counts, and every diagnostic.
+    #[must_use]
+    pub fn to_json_value(&self) -> Value {
+        let by_code: Vec<Value> = LintCode::ALL
+            .iter()
+            .map(|code| {
+                let total = self.diagnostics.iter().filter(|d| d.code == *code).count();
+                let suppressed =
+                    self.diagnostics.iter().filter(|d| d.code == *code && d.suppressed).count();
+                json!({
+                    "code": code.as_str(),
+                    "total": total,
+                    "suppressed": suppressed,
+                })
+            })
+            .collect();
+        json!({
+            "files_scanned": self.files_scanned,
+            "total": self.diagnostics.len(),
+            "suppressed": self.suppressed(),
+            "unsuppressed": self.unsuppressed(),
+            "by_code": by_code,
+            "diagnostics": self.diagnostics.iter().map(Diagnostic::to_json_value).collect::<Vec<Value>>(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_split_by_suppression() {
+        let mut analysis = Analysis::default();
+        analysis.diagnostics.push(Diagnostic::new(
+            LintCode::DetRng,
+            "b.rs",
+            9,
+            "thread_rng".into(),
+        ));
+        let mut ok = Diagnostic::new(LintCode::DetUnordered, "a.rs", 3, "HashMap".into());
+        ok.suppressed = true;
+        ok.justification = Some("lookup only".into());
+        analysis.diagnostics.push(ok);
+        analysis.sort();
+        assert_eq!(analysis.diagnostics[0].file, "a.rs");
+        assert_eq!((analysis.suppressed(), analysis.unsuppressed()), (1, 1));
+        let doc = analysis.to_json_value();
+        assert_eq!(doc.get("unsuppressed").and_then(Value::as_u64), Some(1));
+        assert_eq!(doc.get("diagnostics").and_then(Value::as_array).map(Vec::len), Some(2));
+        assert!(analysis.diagnostics[1].render().starts_with("error[det-rng]"));
+    }
+}

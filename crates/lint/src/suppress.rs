@@ -1,0 +1,205 @@
+//! The suppression grammar and its application.
+//!
+//! A hazard that is *reviewed and sound* is marked in place:
+//!
+//! ```text
+//! // lint:allow(<code>) <justification>
+//! ```
+//!
+//! A trailing marker covers its own line; a full-line marker covers the
+//! next line carrying code. FPR findings (which span a whole digest
+//! function) are covered by a marker anywhere inside the function body
+//! whose justification names the missed field. The justification is
+//! mandatory — a bare marker suppresses nothing and is itself reported
+//! ([`LintCode::SupBare`]), and a marker matching no diagnostic is
+//! reported as stale ([`LintCode::SupUnused`]).
+
+use crate::registry::LintCode;
+use crate::report::Diagnostic;
+use crate::source::SourceFile;
+
+/// One parsed suppression marker.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// 1-based line of the marker comment.
+    pub line: usize,
+    /// 1-based line the marker covers (its own for trailing markers, the
+    /// next code line for full-line markers).
+    pub target_line: usize,
+    /// The lint class it suppresses.
+    pub code: LintCode,
+    /// The mandatory written justification (possibly empty — then the
+    /// marker is bare and suppresses nothing).
+    pub justification: String,
+    used: bool,
+}
+
+/// Extracts every suppression marker from `file`'s comments.
+#[must_use]
+pub fn parse(file: &SourceFile) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for comment in &file.comments {
+        let Some(at) = comment.text.find("lint:allow(") else { continue };
+        let rest = &comment.text[at + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else { continue };
+        let Some(code) = LintCode::parse(rest[..close].trim()) else { continue };
+        let justification = rest[close + 1..].trim().trim_start_matches([':', '-']).trim();
+        let target_line =
+            if comment.trailing { comment.line } else { next_code_line(file, comment.line) };
+        out.push(Suppression {
+            line: comment.line,
+            target_line,
+            code,
+            justification: justification.to_string(),
+            used: false,
+        });
+    }
+    out
+}
+
+/// The first line after `from` (1-based) carrying scrubbed code; falls
+/// back to `from` at end of file.
+fn next_code_line(file: &SourceFile, from: usize) -> usize {
+    let mut line = from + 1;
+    while line <= file.code.len() {
+        if !file.code_line(line).trim().is_empty() {
+            return line;
+        }
+        line += 1;
+    }
+    from
+}
+
+/// Applies `file`'s suppressions to its `diagnostics`: justified matches
+/// flip [`Diagnostic::suppressed`], bare markers and stale markers are
+/// appended as diagnostics of their own.
+pub fn apply(file: &SourceFile, diagnostics: &mut Vec<Diagnostic>) {
+    let mut suppressions = parse(file);
+    for diag in diagnostics.iter_mut() {
+        if diag.file != file.rel_path {
+            continue;
+        }
+        let hit = suppressions.iter_mut().find(|s| {
+            if s.code != diag.code {
+                return false;
+            }
+            if s.target_line == diag.line {
+                return true;
+            }
+            match (&diag.span, &diag.key) {
+                (Some((start, end)), Some(key)) => {
+                    (*start..=*end).contains(&s.line)
+                        && !crate::source::find_words(&s.justification, key).is_empty()
+                }
+                (Some((start, end)), None) => (*start..=*end).contains(&s.line),
+                _ => false,
+            }
+        });
+        if let Some(supp) = hit {
+            supp.used = true;
+            if supp.justification.is_empty() {
+                // Bare marker: the diagnostic stays; the marker itself is
+                // reported below.
+            } else {
+                diag.suppressed = true;
+                diag.justification = Some(supp.justification.clone());
+            }
+        }
+    }
+    for supp in suppressions {
+        if supp.used && supp.justification.is_empty() {
+            diagnostics.push(Diagnostic::new(
+                LintCode::SupBare,
+                &file.rel_path,
+                supp.line,
+                format!("suppression of `{}` carries no justification", supp.code),
+            ));
+        } else if !supp.used {
+            diagnostics.push(Diagnostic::new(
+                LintCode::SupUnused,
+                &file.rel_path,
+                supp.line,
+                format!("suppression of `{}` matches no diagnostic", supp.code),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("demo.rs", "demo", src)
+    }
+
+    #[test]
+    fn trailing_and_full_line_markers_resolve_targets() {
+        let src = "use x; // lint:allow(det-unordered) lookup only\n\
+                   // lint:allow(det-rng) seeded elsewhere\n\
+                   \n\
+                   fn target() {}\n";
+        let f = file(src);
+        let supps = parse(&f);
+        assert_eq!(supps.len(), 2);
+        assert_eq!((supps[0].target_line, supps[0].code), (1, LintCode::DetUnordered));
+        assert_eq!((supps[1].target_line, supps[1].code), (4, LintCode::DetRng));
+        assert_eq!(supps[0].justification, "lookup only");
+    }
+
+    #[test]
+    fn justified_marker_suppresses_bare_marker_reports() {
+        let src = "use a; // lint:allow(det-unordered) membership only\n\
+                   use b; // lint:allow(det-wallclock)\n";
+        let f = file(src);
+        let mut diags = vec![
+            Diagnostic::new(LintCode::DetUnordered, "demo.rs", 1, "HashMap".into()),
+            Diagnostic::new(LintCode::DetWallclock, "demo.rs", 2, "Instant::now".into()),
+        ];
+        apply(&f, &mut diags);
+        assert!(diags[0].suppressed);
+        assert_eq!(diags[0].justification.as_deref(), Some("membership only"));
+        assert!(!diags[1].suppressed, "bare marker must not suppress");
+        assert!(diags.iter().any(|d| d.code == LintCode::SupBare && d.line == 2));
+    }
+
+    #[test]
+    fn unused_markers_are_reported_stale() {
+        let src = "// lint:allow(lck-unwrap) nothing here any more\nfn ok() {}\n";
+        let f = file(src);
+        let mut diags = Vec::new();
+        apply(&f, &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::SupUnused);
+    }
+
+    #[test]
+    fn span_matching_requires_the_key_in_the_justification() {
+        let src = "fn digest() {\n\
+                       // lint:allow(fpr-missed-field) workers: any count is identical\n\
+                       body();\n\
+                   }\n";
+        let f = file(src);
+        let mut missed = Diagnostic::new(
+            LintCode::FprMissedField,
+            "demo.rs",
+            1,
+            "field `workers` of `GaConfig` is not digested".into(),
+        );
+        missed.span = Some((1, 4));
+        missed.key = Some("workers".into());
+        let mut other = missed.clone();
+        other.key = Some("seed".into());
+        let mut diags = vec![missed, other];
+        apply(&f, &mut diags);
+        assert!(diags[0].suppressed, "justification names the field");
+        assert!(!diags[1].suppressed, "justification must name the field");
+    }
+
+    #[test]
+    fn unknown_codes_are_not_suppressions() {
+        let src = "// lint:allow(not-a-code) whatever\nfn ok() {}\n";
+        let f = file(src);
+        assert!(parse(&f).is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Fixture contract: every lint class catches its seeded minimal
+//! violation — exactly one diagnostic, with the expected code, anchor
+//! and key — and the clean fixture produces none. This pins the lint
+//! surface itself: a regression that stops a pass from firing fails
+//! here, not silently in CI.
+
+use cohort_lint::{analyze_files, Analysis, LintCode, SourceFile};
+
+/// Analyzes one fixture as a library file of `crate_name`.
+fn analyze_fixture(name: &str, source: &str, crate_name: &str) -> Analysis {
+    let rel_path = format!("crates/lint/tests/fixtures/{name}");
+    analyze_files(&[SourceFile::parse(&rel_path, crate_name, source)])
+}
+
+/// Asserts the analysis holds exactly one diagnostic and returns it.
+fn single(analysis: &Analysis) -> &cohort_lint::Diagnostic {
+    assert_eq!(
+        analysis.diagnostics.len(),
+        1,
+        "expected exactly one diagnostic, got: {:#?}",
+        analysis.diagnostics
+    );
+    assert_eq!(analysis.unsuppressed(), 1);
+    &analysis.diagnostics[0]
+}
+
+#[test]
+fn det_unordered_fixture_is_caught() {
+    let analysis = analyze_fixture(
+        "det_unordered.rs",
+        include_str!("fixtures/det_unordered.rs"),
+        "cohort-sim",
+    );
+    let diag = single(&analysis);
+    assert_eq!(diag.code, LintCode::DetUnordered);
+    assert_eq!(diag.line, 5, "anchored at the first mention (the use line)");
+    assert!(diag.message.contains("HashMap"));
+    assert!(diag.message.contains("2 mentions"));
+}
+
+#[test]
+fn det_wallclock_fixture_is_caught() {
+    let analysis = analyze_fixture(
+        "det_wallclock.rs",
+        include_str!("fixtures/det_wallclock.rs"),
+        "cohort-fleet",
+    );
+    let diag = single(&analysis);
+    assert_eq!(diag.code, LintCode::DetWallclock);
+    assert_eq!(diag.line, 8, "the Instant::now() call, not the use or the type");
+}
+
+#[test]
+fn det_rng_fixture_is_caught() {
+    let analysis =
+        analyze_fixture("det_rng.rs", include_str!("fixtures/det_rng.rs"), "cohort-optim");
+    let diag = single(&analysis);
+    assert_eq!(diag.code, LintCode::DetRng);
+    assert_eq!(diag.line, 5);
+    assert!(diag.message.contains("thread_rng"));
+}
+
+#[test]
+fn fpr_missed_field_fixture_is_caught() {
+    let analysis = analyze_fixture(
+        "fpr_missed_field.rs",
+        include_str!("fixtures/fpr_missed_field.rs"),
+        "cohort-fleet",
+    );
+    let diag = single(&analysis);
+    assert_eq!(diag.code, LintCode::FprMissedField);
+    assert_eq!(diag.line, 11, "anchored at the digest fn");
+    assert_eq!(diag.key.as_deref(), Some("stall_limit"));
+    assert!(diag.message.contains("TunerConfig"));
+}
+
+#[test]
+fn lck_unwrap_fixture_is_caught() {
+    let analysis = analyze_fixture(
+        "lck_unwrap.rs",
+        include_str!("fixtures/lck_unwrap.rs"),
+        // LCK applies to every crate, outcome-determining or not.
+        "cohort-bench",
+    );
+    let diag = single(&analysis);
+    assert_eq!(diag.code, LintCode::LckUnwrap);
+    assert_eq!(diag.line, 7);
+}
+
+#[test]
+fn clean_fixture_produces_no_diagnostics() {
+    let analysis = analyze_fixture("clean.rs", include_str!("fixtures/clean.rs"), "cohort-sim");
+    assert!(
+        analysis.diagnostics.is_empty(),
+        "clean fixture must be silent, got: {:#?}",
+        analysis.diagnostics
+    );
+}
+
+#[test]
+fn det_fixtures_are_silent_outside_outcome_determining_crates() {
+    let analysis = analyze_fixture(
+        "det_unordered.rs",
+        include_str!("fixtures/det_unordered.rs"),
+        "cohort-bench",
+    );
+    assert!(analysis.diagnostics.is_empty(), "DET scope is the five guarantee crates");
+}

@@ -1,0 +1,44 @@
+//! Fixture: code that follows every house rule.
+//! Expected: zero diagnostics — ordered containers, poison-recovering
+//! locks, no ambient time or randomness, full digest coverage, and
+//! hazard-looking text safely inside strings, comments and tests.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+
+pub struct Ledger {
+    pub entries: BTreeMap<u64, u64>,
+    pub total: u64,
+}
+
+fn digest_ledger(b: FingerprintBuilder, ledger: &Ledger) -> FingerprintBuilder {
+    let mut b = b.u64(ledger.total);
+    for (key, value) in &ledger.entries {
+        b = b.u64(*key).u64(*value);
+    }
+    b
+}
+
+pub fn bump(counter: &Mutex<u64>) -> u64 {
+    // A HashMap would be wrong here; so would Instant::now() — mentioning
+    // them in a comment must not fire.
+    let mut guard = counter.lock().unwrap_or_else(PoisonError::into_inner);
+    *guard += 1;
+    *guard
+}
+
+pub fn describe() -> &'static str {
+    "uses thread_rng and SystemTime only inside this string"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_use_hash_maps() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m.len(), 1);
+    }
+}

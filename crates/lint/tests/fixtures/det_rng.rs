@@ -1,0 +1,11 @@
+//! Fixture: ambient randomness in an outcome-determining crate.
+//! Expected: exactly one `det-rng` diagnostic on the `thread_rng` line.
+
+pub fn mutate(genes: &mut [u64]) {
+    let mut rng = rand::thread_rng();
+    jitter(&mut rng, genes);
+}
+
+fn jitter<R>(_rng: &mut R, genes: &mut [u64]) {
+    genes.reverse();
+}

@@ -1,0 +1,19 @@
+//! Fixture: an unordered container in an outcome-determining crate.
+//! Expected: exactly one `det-unordered` diagnostic, anchored at the
+//! `use` line (first mention), counting both mentions.
+
+use std::collections::HashMap;
+
+pub struct WaiterTable {
+    pub waiters: HashMap<u64, Vec<usize>>,
+}
+
+impl WaiterTable {
+    pub fn drain(&mut self) -> Vec<usize> {
+        let mut order = Vec::new();
+        for (_, cores) in &self.waiters {
+            order.extend(cores.iter().copied());
+        }
+        order
+    }
+}

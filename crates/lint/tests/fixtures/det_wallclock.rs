@@ -1,0 +1,10 @@
+//! Fixture: a wall-clock read in an outcome-determining crate.
+//! Expected: exactly one `det-wallclock` diagnostic on the
+//! `Instant::now()` line.
+
+use std::time::Instant;
+
+pub fn stamp_outcome(value: u64) -> (u64, Instant) {
+    let at = Instant::now();
+    (value, at)
+}

@@ -1,0 +1,13 @@
+//! Fixture: a digested struct with a field the digest never reads.
+//! Expected: exactly one `fpr-missed-field` diagnostic on the digest
+//! function, keyed by the missed field `stall_limit`.
+
+pub struct TunerConfig {
+    pub population: usize,
+    pub seed: u64,
+    pub stall_limit: usize,
+}
+
+fn digest_tuner(b: FingerprintBuilder, config: &TunerConfig) -> FingerprintBuilder {
+    b.u64(config.population as u64).u64(config.seed)
+}

@@ -1,0 +1,10 @@
+//! Fixture: a poisoning lock unwrap in library code.
+//! Expected: exactly one `lck-unwrap` diagnostic.
+
+use std::sync::Mutex;
+
+pub fn bump(counter: &Mutex<u64>) -> u64 {
+    let mut guard = counter.lock().unwrap();
+    *guard += 1;
+    *guard
+}

@@ -1,0 +1,30 @@
+//! The gate, as a test: the workspace's own sources carry zero
+//! unsuppressed diagnostics, and every suppression that remains has a
+//! written justification. This is the same check CI runs via the `lint`
+//! bench bin; having it in `cargo test` means a hazard cannot land even
+//! on machines that only run the test suite.
+
+use std::path::Path;
+
+use cohort_lint::analyze_workspace;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let analysis = analyze_workspace(&root).expect("workspace scan");
+    assert!(analysis.files_scanned > 50, "the walker must actually find the workspace");
+    let unsuppressed: Vec<String> = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| !d.suppressed)
+        .map(cohort_lint::Diagnostic::render)
+        .collect();
+    assert!(unsuppressed.is_empty(), "unsuppressed lint diagnostics:\n{}", unsuppressed.join("\n"));
+    for diag in &analysis.diagnostics {
+        assert!(
+            diag.justification.as_ref().is_some_and(|j| !j.is_empty()),
+            "suppressed diagnostic without a written justification: {}",
+            diag.render()
+        );
+    }
+}

@@ -22,7 +22,7 @@
 //!   counters) restored via [`GeneticAlgorithm::resume`] continues
 //!   bit-identically to the uninterrupted run.
 
-use std::collections::HashMap;
+use std::collections::HashMap; // lint:allow(det-unordered) the fitness memo and pending-index are lookup-only; the only iteration (checkpointing) sorts by genes first
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rand::{Rng, SeedableRng};

@@ -3,7 +3,7 @@
 //! of defaulted no-op hooks, so observation is strictly opt-in and costs
 //! nothing when unused.
 
-use std::collections::HashMap;
+use std::collections::HashMap; // lint:allow(det-unordered) observer hooks borrow the GA's memo read-only; no hook iterates it
 
 use crate::checkpoint::GaCheckpoint;
 use crate::ga::Individual;

@@ -7,7 +7,7 @@
 //! bookkeeping: all timing (release instants, transfer durations) lives in
 //! the engine.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
@@ -208,7 +208,7 @@ impl LineCoh {
 /// The global line-address → coherence-state map.
 #[derive(Debug, Clone, Default)]
 pub struct CoherenceMap {
-    lines: HashMap<LineAddr, LineCoh>,
+    lines: BTreeMap<LineAddr, LineCoh>,
 }
 
 impl CoherenceMap {

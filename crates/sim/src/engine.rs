@@ -28,7 +28,7 @@
 //! instant. Both produce bit-identical event streams and statistics;
 //! select one with [`SimBuilder::engine`].
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use cohort_trace::Workload;
 use cohort_types::{Cycles, Error, LineAddr, Result, TimerValue};
@@ -127,7 +127,7 @@ pub struct Simulator<P: SimProbe = NoProbe> {
     probe: P,
     finish_notified: bool,
     switches: BTreeMap<u64, Vec<TimerValue>>,
-    lines_with_waiters: HashSet<LineAddr>,
+    lines_with_waiters: BTreeSet<LineAddr>,
     last_progress: Cycles,
     faults: FaultState,
     engine: EngineKind,
@@ -324,7 +324,7 @@ impl<P: SimProbe> Simulator<P> {
             probe,
             finish_notified: false,
             switches: BTreeMap::new(),
-            lines_with_waiters: HashSet::new(),
+            lines_with_waiters: BTreeSet::new(),
             last_progress: Cycles::ZERO,
             now: Cycles::ZERO,
             faults: FaultState::new(plan),
@@ -1556,9 +1556,8 @@ impl<P: SimProbe> Simulator<P> {
     ///
     /// Returns a description of the first violated invariant.
     pub fn validate_coherence(&self) -> core::result::Result<(), String> {
-        use std::collections::HashMap;
-        let mut owned: HashMap<LineAddr, Vec<usize>> = HashMap::new();
-        let mut shared: HashMap<LineAddr, Vec<usize>> = HashMap::new();
+        let mut owned: BTreeMap<LineAddr, Vec<usize>> = BTreeMap::new();
+        let mut shared: BTreeMap<LineAddr, Vec<usize>> = BTreeMap::new();
         for (id, l1) in self.l1s.iter().enumerate() {
             for (line, payload) in l1.iter() {
                 if payload.state.is_owned() {

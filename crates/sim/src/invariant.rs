@@ -44,7 +44,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -163,7 +163,7 @@ pub struct InvariantProbe {
     flavor: Option<ProtocolFlavor>,
     timers: Vec<TimerValue>,
     priority: Option<Vec<bool>>,
-    lines: HashMap<LineAddr, ShadowLine>,
+    lines: BTreeMap<LineAddr, ShadowLine>,
     /// Lines with an outstanding broadcast per core (MSHR mirror for the
     /// `j ≠ i` release exclusion).
     inflight: Vec<Vec<LineAddr>>,

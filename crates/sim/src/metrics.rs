@@ -34,7 +34,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use cohort_types::{Cycles, LineAddr, TimerValue};
 
@@ -321,7 +321,7 @@ impl MetricsReport {
 /// Per-core timer-occupancy tracking state.
 #[derive(Debug, Clone, Default)]
 struct Occupancy {
-    live: HashSet<LineAddr>,
+    live: BTreeSet<LineAddr>,
     last_update: u64,
     weighted: u128,
     max: u64,

@@ -17,7 +17,7 @@
 //! [`Simulator::validate_coherence`]: crate::Simulator::validate_coherence
 //! [`Simulator::run_until`]: crate::Simulator::run_until
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use cohort_types::{Cycles, LineAddr, TimerValue};
 
@@ -109,7 +109,7 @@ pub struct WcmlGuard {
     last_activity: Cycles,
     progress_flagged_at: Option<Cycles>,
     progress_timeout: Option<u64>,
-    coherence_seen: HashSet<String>,
+    coherence_seen: BTreeSet<String>,
 }
 
 impl WcmlGuard {

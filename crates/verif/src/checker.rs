@@ -2,7 +2,7 @@
 //! protocol state machine, with hashed state deduplication and minimal
 //! counterexample extraction via BFS parent pointers.
 
-use std::collections::HashMap;
+use std::collections::HashMap; // lint:allow(det-unordered) BFS dedup set keyed by state hash; membership tests only, the frontier queue fixes exploration order
 
 use crate::model::{ModelConfig, ModelEvent, ModelState, ModelViolation};
 
