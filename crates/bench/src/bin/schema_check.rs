@@ -2,8 +2,9 @@
 //! names a document kind in the validator registry below: a `--report`
 //! figure report, a `--trace` Chrome-trace file, an `--optim` GA-engine
 //! benchmark report, a `--chaos` fault-campaign report, a `--sim`
-//! engine-throughput report, a `--fleet` fleet-service report, or a
-//! `--lint` static-analysis report. Exits
+//! engine-throughput report, a `--fleet` fleet-service report, a
+//! `--lint` static-analysis report, or a `--cert` certification-campaign
+//! report. Exits
 //! non-zero on the first schema violation — CI runs this after a smoke
 //! regeneration.
 //!
@@ -17,7 +18,7 @@
 //! cargo run --release -p cohort-bench --bin schema_check -- \
 //!     [--report <report.json>] [--trace <trace.json>] \
 //!     [--optim <optim.json>] [--chaos <chaos.json>] [--sim <sim.json>] \
-//!     [--fleet <fleet.json>]
+//!     [--fleet <fleet.json>] [--lint <lint.json>] [--cert <cert.json>]
 //! ```
 
 use std::path::Path;
@@ -257,6 +258,24 @@ fn check_degradation_report(report: &serde_json::Value, what: &str) -> CheckResu
         count("latency_violations") + count("progress_violations") + count("coherence_violations");
     if total != sum {
         return Err(format!("{what}: violations_total {total} ≠ per-kind sum {sum}"));
+    }
+    // Attribution partition: per-core counts plus the machine-wide bucket
+    // must cover every conviction — a coreless violation must never have
+    // been pinned on a core.
+    expect_u64(report, "machine_violations", what)?;
+    let per_core = get(report, "core_violations", what)?
+        .as_array()
+        .ok_or_else(|| format!("{what}: `core_violations` is not an array"))?;
+    let mut attributed = count("machine_violations");
+    for (i, core) in per_core.iter().enumerate() {
+        attributed += core
+            .as_u64()
+            .ok_or_else(|| format!("{what}: core_violations[{i}] is not an integer"))?;
+    }
+    if attributed != total {
+        return Err(format!(
+            "{what}: core + machine attribution sums to {attributed}, violations_total is {total}"
+        ));
     }
     let planned = count("planned_faults");
     if faults.len() as u64 > planned {
@@ -559,6 +578,175 @@ fn check_lint(doc: &serde_json::Value) -> CheckResult {
     Ok(())
 }
 
+/// Checks one `{successes, trials, rate, wilson_lo, wilson_hi}` rate
+/// document; the Wilson interval must bracket the point estimate inside
+/// `[0, 1]`, and successes must not exceed trials.
+fn check_rate(doc: &serde_json::Value, what: &str) -> CheckResult {
+    for key in ["successes", "trials"] {
+        expect_u64(doc, key, what)?;
+    }
+    let successes = get(doc, "successes", what)?.as_u64().unwrap_or(0);
+    let trials = get(doc, "trials", what)?.as_u64().unwrap_or(0);
+    if successes > trials {
+        return Err(format!("{what}: successes {successes} exceed trials {trials}"));
+    }
+    let num = |key: &str| -> Result<f64, String> {
+        get(doc, key, what)?.as_f64().ok_or_else(|| format!("{what}: `{key}` is not a number"))
+    };
+    let (lo, rate, hi) = (num("wilson_lo")?, num("rate")?, num("wilson_hi")?);
+    if !(0.0 <= lo && lo <= rate && rate <= hi && hi <= 1.0) {
+        return Err(format!(
+            "{what}: interval [{lo}, {hi}] does not bracket rate {rate} in [0, 1]"
+        ));
+    }
+    Ok(())
+}
+
+/// Checks a `cert` certification-campaign document (`--cert`,
+/// `BENCH_cert.json`).
+fn check_cert(doc: &serde_json::Value) -> CheckResult {
+    report::CERT.check(doc)?;
+    if get(doc, "generator", "cert")?.as_str() != Some("cert") {
+        return Err("cert: `generator` is not \"cert\"".into());
+    }
+    if get(doc, "quick", "cert")?.as_bool().is_none() {
+        return Err("cert: `quick` is not a boolean".into());
+    }
+    for key in ["trials", "jobs"] {
+        expect_u64(doc, key, "cert")?;
+    }
+    // The determinism gate: the campaign ran twice, and both runs must
+    // have produced bit-identical aggregates.
+    if get(doc, "runs_identical", "cert")?.as_bool() != Some(true) {
+        return Err("cert: `runs_identical` must be true".into());
+    }
+
+    // The fault campaign: counts must partition and every rate must carry
+    // a well-formed Wilson interval.
+    let fault = get(doc, "fault", "cert")?;
+    let what = "cert.fault";
+    for key in ["trials", "control_trials", "machine_violations"] {
+        expect_u64(fault, key, what)?;
+    }
+    let count = |sec: &serde_json::Value, key: &str, what: &str| -> Result<u64, String> {
+        get(sec, key, what)?
+            .as_u64()
+            .ok_or_else(|| format!("{what}: `{key}` is not an unsigned integer"))
+    };
+    for key in ["detected", "false_convictions", "degraded", "degradation_success"] {
+        check_rate(get(fault, key, what)?, &format!("{what}.{key}"))?;
+    }
+    let fault_trials = count(fault, "trials", what)?;
+    let control = count(fault, "control_trials", what)?;
+    let faulted = count(get(fault, "detected", what)?, "trials", &format!("{what}.detected"))?;
+    if control + faulted != fault_trials {
+        return Err(format!(
+            "{what}: control {control} + faulted {faulted} != trials {fault_trials}"
+        ));
+    }
+    let fc_what = format!("{what}.false_convictions");
+    if count(get(fault, "false_convictions", what)?, "trials", &fc_what)? != control {
+        return Err(format!("{fc_what}: trials differ from control_trials {control}"));
+    }
+    let hist = get(fault, "detection_latency", what)?;
+    let h_what = format!("{what}.detection_latency");
+    for key in ["total", "max"] {
+        expect_u64(hist, key, &h_what)?;
+    }
+    let buckets = get(hist, "buckets", &h_what)?
+        .as_array()
+        .ok_or_else(|| format!("{h_what}: `buckets` is not an array"))?;
+    let mut bucketed = 0u64;
+    for bucket in buckets {
+        let pair = bucket
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("{h_what}: bucket is not a [bucket, count] pair"))?;
+        bucketed +=
+            pair[1].as_u64().ok_or_else(|| format!("{h_what}: bucket count is not an integer"))?;
+    }
+    let hist_total = count(hist, "total", &h_what)?;
+    if bucketed != hist_total {
+        return Err(format!("{h_what}: bucket counts sum to {bucketed}, total says {hist_total}"));
+    }
+
+    // The schedulability curve: bucket trials must sum to the campaign.
+    let sched = get(doc, "schedulability", "cert")?;
+    let what = "cert.schedulability";
+    for key in ["trials", "schedulable"] {
+        expect_u64(sched, key, what)?;
+    }
+    let sched_trials = count(sched, "trials", what)?;
+    if count(sched, "schedulable", what)? > sched_trials {
+        return Err(format!("{what}: more schedulable task sets than trials"));
+    }
+    let curve = get(sched, "curve", what)?
+        .as_array()
+        .ok_or_else(|| format!("{what}: `curve` is not an array"))?;
+    if curve.is_empty() {
+        return Err(format!("{what}: empty `curve` array"));
+    }
+    let mut curve_trials = 0u64;
+    for (i, bucket) in curve.iter().enumerate() {
+        let b_what = format!("{what}.curve[{i}]");
+        check_rate(bucket, &b_what)?;
+        let (lo, hi) =
+            (count(bucket, "util_lo_pct", &b_what)?, count(bucket, "util_hi_pct", &b_what)?);
+        if lo >= hi {
+            return Err(format!("{b_what}: utilisation edges [{lo}, {hi}) are empty"));
+        }
+        curve_trials += count(bucket, "trials", &b_what)?;
+    }
+    if curve_trials != sched_trials {
+        return Err(format!(
+            "{what}: curve bucket trials sum to {curve_trials}, campaign ran {sched_trials}"
+        ));
+    }
+    let total = count(doc, "trials", "cert")?;
+    if fault_trials + sched_trials != total {
+        return Err(format!("cert: fault {fault_trials} + sched {sched_trials} != trials {total}"));
+    }
+
+    // The reproducibility gate: every minimized counterexample must still
+    // convict under its fault plan and replay clean on the faithful
+    // engine, and minimization must never have grown the workload.
+    let counterexamples = get(doc, "counterexamples", "cert")?
+        .as_array()
+        .ok_or_else(|| "cert: `counterexamples` is not an array".to_string())?;
+    if counterexamples.is_empty() {
+        return Err("cert: no conviction was minimized into a counterexample".into());
+    }
+    for (i, c) in counterexamples.iter().enumerate() {
+        let what = format!("cert.counterexamples[{i}]");
+        expect_str(c, "kind", &what)?;
+        for key in ["seed", "original_accesses", "exported_accesses", "minimized_accesses"] {
+            expect_u64(c, key, &what)?;
+        }
+        let (original, exported, minimized) = (
+            count(c, "original_accesses", &what)?,
+            count(c, "exported_accesses", &what)?,
+            count(c, "minimized_accesses", &what)?,
+        );
+        if !(minimized <= exported && exported <= original) {
+            return Err(format!(
+                "{what}: sizes {minimized} <= {exported} <= {original} do not shrink"
+            ));
+        }
+        if get(c, "reconvicts", &what)?.as_bool() != Some(true) {
+            return Err(format!("{what}: the minimized workload does not re-convict"));
+        }
+        if get(c, "replay_clean", &what)?.as_bool() != Some(true) {
+            return Err(format!("{what}: the faithful replay was not clean"));
+        }
+        get(c, "workload", &what)?;
+    }
+    println!(
+        "cert ok: {total} trials, {} counterexamples, aggregates bit-identical",
+        counterexamples.len()
+    );
+    Ok(())
+}
+
 /// One entry in the validator registry: the CLI flag that selects it and
 /// the checker it dispatches to. New document kinds join by adding a row.
 struct Validator {
@@ -574,6 +762,7 @@ const VALIDATORS: &[Validator] = &[
     Validator { flag: "--sim", check: check_sim },
     Validator { flag: "--fleet", check: check_fleet },
     Validator { flag: "--lint", check: check_lint },
+    Validator { flag: "--cert", check: check_cert },
 ];
 
 fn usage() -> String {

@@ -41,6 +41,8 @@ pub const SCHEDULABILITY: Schema = Schema::new("schedulability", 1);
 pub const TABLE2: Schema = Schema::new("table2", 1);
 /// Static-analysis reports (the `lint` bin).
 pub const LINT: Schema = Schema::new("lint", 1);
+/// Monte Carlo certification reports (`BENCH_cert.json`).
+pub const CERT: Schema = Schema::new("cert", 1);
 
 impl Schema {
     /// A schema constant.

@@ -1,0 +1,147 @@
+//! The fleet-executable certification batch.
+//!
+//! A [`CertBatch`] is one contiguous block of seeded trials — the unit of
+//! work the driver streams through `cohort-fleet` as
+//! [`cohort_fleet::JobSpec::Certify`] jobs. The batch implements the
+//! fleet's [`CertifyBatch`] trait: its digest content-addresses the
+//! sampling space and the seed range (so killed-worker recovery and
+//! cross-run memoization apply to certification exactly as to experiments
+//! and GA runs), and its payload is the batch's streaming aggregate —
+//! never a per-run report.
+
+use serde_json::{json, Value};
+
+use cohort_fleet::CertifyBatch;
+use cohort_types::{FingerprintBuilder, Result};
+
+use crate::estimate::{FaultAggregate, SchedAggregate};
+use crate::trial::{FaultCampaignSpace, SchedSpace};
+
+/// Which campaign family a batch samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Campaign {
+    /// Seeded fault-injection campaigns through `run_with_watchdog`.
+    Fault(FaultCampaignSpace),
+    /// Random task-set schedulability trials through `cohort-analysis`.
+    Sched(SchedSpace),
+}
+
+impl Campaign {
+    /// A stable slug for labels and payload tags.
+    #[must_use]
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Campaign::Fault(_) => "fault",
+            Campaign::Sched(_) => "sched",
+        }
+    }
+}
+
+/// One contiguous block of seeded trials, executable by any fleet worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertBatch {
+    /// The campaign family and its sampling space.
+    pub campaign: Campaign,
+    /// First seed of the block.
+    pub seed_start: u64,
+    /// Number of consecutive seeds to run.
+    pub trials: u64,
+}
+
+impl CertBatch {
+    /// Runs the batch to its aggregate payload (a pure function of the
+    /// batch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trial errors (simulator misconfiguration, deadlocks).
+    pub fn execute(&self) -> Result<Value> {
+        match &self.campaign {
+            Campaign::Fault(space) => {
+                let mut agg = FaultAggregate::default();
+                for seed in self.seed_start..self.seed_start + self.trials {
+                    agg.record(seed, &space.run_trial(seed)?);
+                }
+                Ok(json!({ "campaign": "fault", "aggregate": agg.to_json() }))
+            }
+            Campaign::Sched(space) => {
+                let mut agg = SchedAggregate::for_space(space);
+                for seed in self.seed_start..self.seed_start + self.trials {
+                    agg.record(&space.run_trial(seed)?);
+                }
+                Ok(json!({ "campaign": "sched", "aggregate": agg.to_json() }))
+            }
+        }
+    }
+}
+
+impl CertifyBatch for CertBatch {
+    fn label(&self) -> String {
+        format!(
+            "cert/{}[{}..{}]",
+            self.campaign.slug(),
+            self.seed_start,
+            self.seed_start + self.trials
+        )
+    }
+
+    fn digest(&self, b: FingerprintBuilder) -> FingerprintBuilder {
+        let b = match &self.campaign {
+            Campaign::Fault(space) => space.digest(b.text("campaign/fault")),
+            Campaign::Sched(space) => space.digest(b.text("campaign/sched")),
+        };
+        b.u64(self.seed_start).u64(self.trials)
+    }
+
+    fn manifest(&self) -> Value {
+        json!({
+            "campaign": self.campaign.slug(),
+            "seed_start": self.seed_start,
+            "trials": self.trials,
+        })
+    }
+
+    fn run(&self) -> Result<Value> {
+        self.execute()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohort_fleet::JobSpec;
+    use std::sync::Arc;
+
+    fn sched_batch(seed_start: u64) -> CertBatch {
+        CertBatch { campaign: Campaign::Sched(SchedSpace::default()), seed_start, trials: 32 }
+    }
+
+    #[test]
+    fn batches_are_content_addressed_by_space_and_seed_range() {
+        let spec = |s| JobSpec::Certify { batch: Arc::new(sched_batch(s)) };
+        assert_eq!(spec(0).fingerprint(), spec(0).fingerprint());
+        assert_ne!(spec(0).fingerprint(), spec(32).fingerprint());
+        let fault = JobSpec::Certify {
+            batch: Arc::new(CertBatch {
+                campaign: Campaign::Fault(FaultCampaignSpace::default()),
+                seed_start: 0,
+                trials: 32,
+            }),
+        };
+        assert_ne!(fault.fingerprint(), spec(0).fingerprint());
+    }
+
+    #[test]
+    fn batch_payloads_are_deterministic_aggregates() {
+        let batch = sched_batch(100);
+        let a = batch.execute().expect("batch runs");
+        let b = batch.execute().expect("batch runs");
+        assert_eq!(
+            serde_json::to_string_pretty(&a).expect("serialize"),
+            serde_json::to_string_pretty(&b).expect("serialize"),
+        );
+        let agg = SchedAggregate::from_json(a.get("aggregate").expect("aggregate"))
+            .expect("payload parses back");
+        assert_eq!(agg.trials, 32);
+    }
+}

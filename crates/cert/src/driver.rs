@@ -1,0 +1,219 @@
+//! The Monte Carlo certification driver: batches over the fleet,
+//! aggregates merged in submission order, convictions auto-minimized.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use serde_json::{json, Value};
+
+use cohort_fleet::{Fleet, FleetStats, JobSpec};
+use cohort_types::{Error, Result};
+
+use crate::batch::{Campaign, CertBatch};
+use crate::estimate::{FaultAggregate, SchedAggregate};
+use crate::minimize::{minimize_conviction, Counterexample};
+use crate::trial::{FaultCampaignSpace, SchedSpace};
+
+/// The campaign configuration of one certification run.
+#[derive(Debug, Clone)]
+pub struct CertConfig {
+    /// The fault-injection campaign family.
+    pub fault_space: FaultCampaignSpace,
+    /// The schedulability sampling space.
+    pub sched_space: SchedSpace,
+    /// Seeded fault trials to run (control arm included).
+    pub fault_trials: u64,
+    /// Seeded schedulability trials to run.
+    pub sched_trials: u64,
+    /// Trials per fleet job — the streaming granularity.
+    pub batch_trials: u64,
+    /// Worker shards of the fleet.
+    pub shards: usize,
+    /// Base of the seed space; fault and schedulability trials draw from
+    /// disjoint streams above it.
+    pub base_seed: u64,
+    /// At most this many convictions are minimized into counterexamples.
+    pub minimize_limit: usize,
+    /// Where minimized counterexamples are written
+    /// (`cert_counterexample_<seed>.json`); `None` keeps them in-memory
+    /// only.
+    pub counterexample_dir: Option<PathBuf>,
+}
+
+impl Default for CertConfig {
+    fn default() -> Self {
+        CertConfig {
+            fault_space: FaultCampaignSpace::default(),
+            sched_space: SchedSpace::default(),
+            fault_trials: 2_048,
+            sched_trials: 8_192,
+            batch_trials: 256,
+            shards: 4,
+            base_seed: 0,
+            minimize_limit: 2,
+            counterexample_dir: None,
+        }
+    }
+}
+
+/// The streamed outcome of one certification run.
+#[derive(Debug, Clone)]
+pub struct CertOutcome {
+    /// Fault-campaign aggregate (rates, detection-latency histogram).
+    pub fault: FaultAggregate,
+    /// Schedulability curve.
+    pub sched: SchedAggregate,
+    /// Minimized counterexamples, one per chosen convicting seed.
+    pub counterexamples: Vec<Counterexample>,
+    /// Fleet jobs submitted.
+    pub jobs: u64,
+    /// Fleet service counters (executions, dedup, reclaims).
+    pub stats: FleetStats,
+}
+
+impl CertOutcome {
+    /// The deterministic part of the outcome — everything except the
+    /// fleet's scheduling-dependent counters. Two runs of the same
+    /// [`CertConfig`] produce bit-identical documents.
+    #[must_use]
+    pub fn aggregate_json(&self) -> Value {
+        json!({
+            "fault": self.fault.to_json(),
+            "schedulability": self.sched.to_json(),
+            "counterexamples":
+                self.counterexamples.iter().map(Counterexample::to_json).collect::<Vec<Value>>(),
+            "jobs": self.jobs,
+        })
+    }
+}
+
+/// Splits `trials` into `batch`-sized blocks starting at `base`.
+fn blocks(base: u64, trials: u64, batch: u64) -> Vec<(u64, u64)> {
+    let batch = batch.max(1);
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < trials {
+        let n = batch.min(trials - start);
+        out.push((base + start, n));
+        start += n;
+    }
+    out
+}
+
+/// Runs the full certification campaign: every batch is submitted to a
+/// fresh fleet as a content-addressed [`JobSpec::Certify`] job, payloads
+/// are merged in submission order, and up to `minimize_limit` convictions
+/// are auto-minimized through the `cohort-verif` replay harness.
+///
+/// # Errors
+///
+/// Propagates fleet submission errors, batch execution errors (surfaced
+/// as `{"error": ...}` payloads), aggregate-codec errors and
+/// counterexample I/O errors.
+pub fn run_certification(config: &CertConfig) -> Result<CertOutcome> {
+    let fleet = Fleet::builder().shards(config.shards.max(1)).build()?;
+    let client = fleet.client();
+
+    // Fault and schedulability seeds draw from disjoint streams: the
+    // schedulability block starts 2^32 above the fault block so the two
+    // campaigns can never alias within any realistic trial count.
+    let sched_base = config.base_seed + (1u64 << 32);
+    let mut tickets = Vec::new();
+    for (seed_start, trials) in blocks(config.base_seed, config.fault_trials, config.batch_trials) {
+        let batch =
+            CertBatch { campaign: Campaign::Fault(config.fault_space.clone()), seed_start, trials };
+        tickets.push(client.submit(JobSpec::Certify { batch: Arc::new(batch) })?);
+    }
+    for (seed_start, trials) in blocks(sched_base, config.sched_trials, config.batch_trials) {
+        let batch =
+            CertBatch { campaign: Campaign::Sched(config.sched_space.clone()), seed_start, trials };
+        tickets.push(client.submit(JobSpec::Certify { batch: Arc::new(batch) })?);
+    }
+    let jobs = tickets.len() as u64;
+
+    // Merge payloads in submission order — completion order is a worker
+    // scheduling artifact and must not leak into the aggregates.
+    let mut fault = FaultAggregate::default();
+    let mut sched = SchedAggregate::default();
+    for ticket in &tickets {
+        let payload = client.wait(ticket)?;
+        if let Some(error) = payload.get("error").and_then(Value::as_str) {
+            return Err(Error::InvalidConfig(format!("certification batch failed: {error}")));
+        }
+        let campaign = payload
+            .get("campaign")
+            .and_then(Value::as_str)
+            .ok_or_else(|| Error::Codec("batch payload is missing `campaign`".into()))?;
+        let aggregate = payload
+            .get("aggregate")
+            .ok_or_else(|| Error::Codec("batch payload is missing `aggregate`".into()))?;
+        match campaign {
+            "fault" => fault.merge(&FaultAggregate::from_json(aggregate)?),
+            "sched" => sched.merge(&SchedAggregate::from_json(aggregate)?)?,
+            other => return Err(Error::Codec(format!("unknown certification campaign `{other}`"))),
+        }
+    }
+    let stats = fleet.shutdown();
+
+    // Auto-minimize the first convictions (ascending seed order for
+    // determinism regardless of batch boundaries).
+    let mut seeds = fault.convicting_seeds.clone();
+    seeds.sort_unstable();
+    seeds.dedup();
+    let mut counterexamples = Vec::new();
+    for seed in seeds.into_iter().take(config.minimize_limit) {
+        if let Some(counterexample) = minimize_conviction(&config.fault_space, seed)? {
+            if let Some(dir) = &config.counterexample_dir {
+                write_counterexample(dir, &counterexample)?;
+            }
+            counterexamples.push(counterexample);
+        }
+    }
+
+    Ok(CertOutcome { fault, sched, counterexamples, jobs, stats })
+}
+
+fn write_counterexample(dir: &Path, counterexample: &Counterexample) -> Result<()> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| Error::Codec(format!("creating {}: {e}", dir.display())))?;
+    let path = dir.join(format!("cert_counterexample_{}.json", counterexample.seed));
+    let doc = serde_json::to_string_pretty(&counterexample.to_json())
+        .map_err(|e| Error::Codec(format!("serializing counterexample: {e}")))?;
+    std::fs::write(&path, doc + "\n")
+        .map_err(|e| Error::Codec(format!("writing {}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_cover_the_trial_range_exactly() {
+        assert_eq!(blocks(0, 10, 4), vec![(0, 4), (4, 4), (8, 2)]);
+        assert_eq!(blocks(100, 4, 4), vec![(100, 4)]);
+        assert_eq!(blocks(0, 0, 4), Vec::<(u64, u64)>::new());
+        let covered: u64 = blocks(7, 1_000, 33).iter().map(|&(_, n)| n).sum();
+        assert_eq!(covered, 1_000);
+    }
+
+    #[test]
+    fn small_campaign_runs_end_to_end_and_is_deterministic() {
+        let config = CertConfig {
+            fault_trials: 24,
+            sched_trials: 64,
+            batch_trials: 16,
+            shards: 2,
+            minimize_limit: 1,
+            ..CertConfig::default()
+        };
+        let a = run_certification(&config).expect("campaign runs");
+        let b = run_certification(&config).expect("campaign runs");
+        assert_eq!(a.fault.trials, 24);
+        assert_eq!(a.sched.trials, 64);
+        assert_eq!(
+            serde_json::to_string_pretty(&a.aggregate_json()).expect("serialize"),
+            serde_json::to_string_pretty(&b.aggregate_json()).expect("serialize"),
+            "two runs of the same campaign must produce bit-identical aggregates"
+        );
+    }
+}

@@ -68,8 +68,10 @@ pub struct SwitchRecord {
     pub from: u32,
     /// Incoming mode index (1-based).
     pub to: u32,
-    /// The core whose convictions triggered the switch (`None` for a
-    /// re-promotion, which no single core triggers).
+    /// The core whose convictions triggered the switch. `None` for a
+    /// re-promotion (`to < from`) and for an escalation driven by
+    /// machine-wide convictions that name no core (`to > from`), e.g. a
+    /// failed coherence sweep.
     pub trigger: Option<usize>,
 }
 
@@ -107,6 +109,13 @@ pub struct DegradationReport {
     pub progress_violations: u64,
     /// Coherence convictions.
     pub coherence_violations: u64,
+    /// Convictions attributed to each core (index = core id). Machine-wide
+    /// convictions that name no core never appear here;
+    /// `core_violations.sum() + machine_violations == violations_total()`.
+    pub core_violations: Vec<u64>,
+    /// Machine-wide convictions carrying no core attribution (e.g. failed
+    /// whole-machine coherence sweeps).
+    pub machine_violations: u64,
     /// The first convictions, capped by the policy.
     pub violations: Vec<WcmlViolation>,
     /// Every switch the driver took, in order.
@@ -166,6 +175,10 @@ impl DegradationReport {
             "coherence_violations".into(),
             serde_json::Value::from(self.coherence_violations),
         );
+        let per_core: Vec<serde_json::Value> =
+            self.core_violations.iter().map(|&c| serde_json::Value::from(c)).collect();
+        root.insert("core_violations".into(), serde_json::Value::from(per_core));
+        root.insert("machine_violations".into(), serde_json::Value::from(self.machine_violations));
         let violations: Vec<serde_json::Value> = self
             .violations
             .iter()
@@ -283,6 +296,16 @@ pub fn run_with_watchdog(
     plan: FaultPlan,
     policy: &WatchdogPolicy,
 ) -> Result<DegradationReport> {
+    if lut.modes() == 0 || lut.cores() == 0 {
+        // `ModeSwitchLut::new` rejects empty tables, but a table arriving
+        // through deserialization (or a future constructor) must not reach
+        // the conviction counters: an empty table used to underflow
+        // `counts.len() - 1` and panic.
+        return Err(Error::InvalidConfig(
+            "mode-switch LUT is empty: at least one mode covering at least one core is required"
+                .into(),
+        ));
+    }
     if lut.cores() != config.cores() {
         return Err(Error::InvalidConfig(format!(
             "LUT covers {} cores but the configuration has {}",
@@ -308,6 +331,10 @@ pub fn run_with_watchdog(
     let mut requests_at_switch: u64 = 0;
     let mut processed = 0usize;
     let mut counts = vec![0u64; lut.cores()];
+    // Machine-wide convictions carrying no core attribution (and any probe
+    // core outside the LUT) accumulate here instead of being pinned on
+    // core 0; they escalate without naming a trigger.
+    let mut machine_count = 0u64;
     let mut last_counted_violation: Option<u64> = None;
 
     loop {
@@ -336,19 +363,34 @@ pub fn run_with_watchdog(
             }
             last_counted_violation =
                 Some(last_counted_violation.map_or(v.at.get(), |prev| prev.max(v.at.get())));
-            let core = v.core.unwrap_or(0).min(counts.len() - 1);
-            counts[core] += 1;
+            match v.core {
+                Some(c) if c < counts.len() => counts[c] += 1,
+                // Coreless (machine-wide) convictions must never increment a
+                // per-core count — pinning them on core 0 convicted that
+                // core for violations it did not cause.
+                _ => machine_count += 1,
+            }
         }
         processed = violations.len();
 
         let in_cooldown =
             last_switch_at.is_some_and(|at| now.get() <= at.saturating_add(policy.cooldown));
-        let offender = counts
+        let core_offender = counts
             .iter()
             .enumerate()
             .filter(|(_, &c)| c >= policy.violation_threshold)
-            .max_by_key(|(_, &c)| c)
-            .map(|(i, _)| i);
+            .max_by_key(|(_, &c)| c);
+        // A per-core offender names its trigger; a machine-wide offender
+        // escalates without naming one. When both cross the threshold the
+        // larger count decides (per-core wins ties: it is the more
+        // actionable attribution).
+        let offender: Option<Option<usize>> = match core_offender {
+            Some((i, &c)) if machine_count < policy.violation_threshold || c >= machine_count => {
+                Some(Some(i))
+            }
+            _ if machine_count >= policy.violation_threshold => Some(None),
+            _ => None,
+        };
 
         if let Some(trigger) = offender {
             if !in_cooldown && mode.index() < lut.modes() {
@@ -359,12 +401,13 @@ pub fn run_with_watchdog(
                     at: at.get(),
                     from: mode.index(),
                     to: next.index(),
-                    trigger: Some(trigger),
+                    trigger,
                 });
                 last_switch_at = Some(at.get());
                 requests_at_switch = sim.probe().requests();
                 mode = next;
                 counts.fill(0);
+                machine_count = 0;
             }
         } else if let Some(window) = policy.repromote_after {
             // Step back down after a clean window (opt-in).
@@ -372,6 +415,7 @@ pub fn run_with_watchdog(
             if mode.index() > 1
                 && !in_cooldown
                 && now.get().saturating_sub(clean_since) >= window
+                && machine_count == 0
                 && counts.iter().all(|&c| c == 0)
             {
                 let prev = Mode::new(mode.index() - 1)?;
@@ -409,11 +453,17 @@ pub fn run_with_watchdog(
     let mut latency_violations = 0;
     let mut progress_violations = 0;
     let mut coherence_violations = 0;
+    let mut core_violations = vec![0u64; lut.cores()];
+    let mut machine_violations = 0u64;
     for v in guard.violations() {
         match v.kind {
             WcmlViolationKind::LatencyBound => latency_violations += 1,
             WcmlViolationKind::Progress => progress_violations += 1,
             WcmlViolationKind::Coherence => coherence_violations += 1,
+        }
+        match v.core {
+            Some(c) if c < core_violations.len() => core_violations[c] += 1,
+            _ => machine_violations += 1,
         }
     }
 
@@ -444,6 +494,8 @@ pub fn run_with_watchdog(
         latency_violations,
         progress_violations,
         coherence_violations,
+        core_violations,
+        machine_violations,
         violations: recorded,
         switches,
         detection_latency,

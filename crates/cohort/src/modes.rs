@@ -60,10 +60,11 @@ impl ModeSwitchLut {
         self.rows.len() as u32
     }
 
-    /// Number of cores covered.
+    /// Number of cores covered (`0` for a table that bypassed [`Self::new`]
+    /// with no modes, e.g. one arriving through deserialization).
     #[must_use]
     pub fn cores(&self) -> usize {
-        self.rows[0].len()
+        self.rows.first().map_or(0, Vec::len)
     }
 
     /// The timer vector programmed for `mode`.

@@ -43,7 +43,7 @@ mod worker;
 pub use client::{Fleet, FleetBuilder, FleetClient, FleetStats, Ticket};
 pub use clock::{Clock, SystemClock, TestClock};
 pub use queue::{Claim, JobQueue, QueueStats};
-pub use spec::JobSpec;
+pub use spec::{CertifyBatch, JobSpec};
 pub use store::{payload_fingerprint, ResultStore};
 pub use worker::{
     execute_experiment, ga_payload, outcome_payload, ShardStats, WorkerId, WorkerShard,

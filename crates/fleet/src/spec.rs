@@ -7,7 +7,38 @@ use serde_json::{json, Value};
 use cohort::{Protocol, SystemSpec};
 use cohort_optim::GaConfig;
 use cohort_trace::Workload;
-use cohort_types::{Fingerprint, FingerprintBuilder, TimerValue};
+use cohort_types::{Fingerprint, FingerprintBuilder, Result, TimerValue};
+
+/// One Monte Carlo certification batch the fleet can execute without
+/// depending on the certification crate: `cohort-cert` sits *above*
+/// `cohort-fleet` in the dependency graph (it submits through the normal
+/// client path), so its batches arrive behind this object-safe trait.
+///
+/// Implementations must be pure functions of their configuration — the
+/// fleet's dedup-on-submit, killed-worker recovery and cross-run
+/// memoization all assume [`CertifyBatch::run`] is deterministic and that
+/// [`CertifyBatch::digest`] covers everything outcome-determining.
+pub trait CertifyBatch: std::fmt::Debug + Send + Sync {
+    /// A short human-readable label for progress lines and bench output.
+    fn label(&self) -> String;
+
+    /// Folds everything that determines the batch outcome into the
+    /// fingerprint (the `cohort-fleet/certify/1` kind tag is already
+    /// applied by [`JobSpec::fingerprint`]).
+    fn digest(&self, b: FingerprintBuilder) -> FingerprintBuilder;
+
+    /// The scalar configuration (campaign slug, seed range, trial count)
+    /// for manifests and queue inspection.
+    fn manifest(&self) -> Value;
+
+    /// Executes the batch to its streaming-aggregate payload.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; a failure becomes the job's deterministic
+    /// `{"error": ...}` payload like every other job kind.
+    fn run(&self) -> Result<Value>;
+}
 
 /// One unit of fleet work: either a simulate-and-analyse experiment (one
 /// job of a PR-1-style sweep) or a GA timer optimization (a PR-4-style
@@ -40,6 +71,13 @@ pub enum JobSpec {
         /// plus the problem).
         ga: GaConfig,
     },
+    /// Run one Monte Carlo certification batch (a `cohort-cert` block of
+    /// seeded fault-injection or schedulability trials).
+    Certify {
+        /// The batch, shared so a campaign of thousands of submissions
+        /// stays cheap.
+        batch: Arc<dyn CertifyBatch>,
+    },
 }
 
 impl JobSpec {
@@ -53,6 +91,7 @@ impl JobSpec {
             JobSpec::Optimize { workload, timed, .. } => {
                 format!("ga/{} ({} timed)", workload.name(), timed.len())
             }
+            JobSpec::Certify { batch } => batch.label(),
         }
     }
 
@@ -82,6 +121,9 @@ impl JobSpec {
                 }
                 digest_ga(b, ga).finish()
             }
+            JobSpec::Certify { batch } => {
+                batch.digest(Fingerprint::builder().text("cohort-fleet/certify/1")).finish()
+            }
         }
     }
 
@@ -109,6 +151,12 @@ impl JobSpec {
                 "population": ga.population,
                 "generations": ga.generations,
                 "seed": ga.seed,
+            }),
+            JobSpec::Certify { batch } => json!({
+                "kind": "certify",
+                "label": self.label(),
+                "fingerprint": self.fingerprint().to_hex(),
+                "config": batch.manifest(),
             }),
         }
     }
@@ -267,6 +315,49 @@ mod tests {
             ga.workers = 6;
         }
         assert_eq!(a.fingerprint(), job(7, None).fingerprint());
+    }
+
+    #[derive(Debug)]
+    struct FixedBatch {
+        slug: String,
+        seed_start: u64,
+        trials: u64,
+    }
+
+    impl CertifyBatch for FixedBatch {
+        fn label(&self) -> String {
+            format!("cert/{}", self.slug)
+        }
+        fn digest(&self, b: FingerprintBuilder) -> FingerprintBuilder {
+            b.text(&self.slug).u64(self.seed_start).u64(self.trials)
+        }
+        fn manifest(&self) -> Value {
+            json!({
+                "campaign": self.slug.clone(),
+                "seed_start": self.seed_start,
+                "trials": self.trials,
+            })
+        }
+        fn run(&self) -> Result<Value> {
+            Ok(json!({ "trials": self.trials }))
+        }
+    }
+
+    fn certify(seed_start: u64) -> JobSpec {
+        JobSpec::Certify {
+            batch: Arc::new(FixedBatch { slug: "fault".into(), seed_start, trials: 64 }),
+        }
+    }
+
+    #[test]
+    fn certify_batches_are_content_addressed() {
+        assert_eq!(certify(0).fingerprint(), certify(0).fingerprint());
+        assert_ne!(certify(0).fingerprint(), certify(64).fingerprint());
+        // The kind tag keeps certify jobs out of the other kinds' space.
+        assert_ne!(certify(0).fingerprint(), experiment(30).fingerprint());
+        let v = certify(0).to_json_value();
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("certify"));
+        assert_eq!(v.get("fingerprint").and_then(Value::as_str).unwrap().len(), 32);
     }
 
     #[test]

@@ -160,6 +160,7 @@ impl WorkerShard {
             JobSpec::Optimize { workload, timed, ga } => {
                 self.execute_ga(claim, workload, timed, ga)
             }
+            JobSpec::Certify { batch } => batch.run(),
         };
         result.unwrap_or_else(|e| json!({ "error": e.to_string() }))
     }

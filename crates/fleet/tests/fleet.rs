@@ -72,7 +72,9 @@ fn a_killed_worker_is_reclaimed_and_the_rerun_is_bit_identical() {
         JobSpec::Experiment { spec, protocol, workload } => {
             execute_experiment(spec, protocol, workload).unwrap()
         }
-        JobSpec::Optimize { .. } => unreachable!("submitted an experiment"),
+        JobSpec::Optimize { .. } | JobSpec::Certify { .. } => {
+            unreachable!("submitted an experiment")
+        }
     };
     std::thread::sleep(Duration::from_millis(60)); // the lease runs out
 

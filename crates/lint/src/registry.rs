@@ -5,8 +5,14 @@
 /// memoization and certification guarantees rest on. DET lints apply only
 /// here — nondeterminism in presentation/bench code is measurement, not a
 /// hazard.
-pub const OUTCOME_DETERMINING: &[&str] =
-    &["cohort-sim", "cohort-optim", "cohort-fleet", "cohort-analysis", "cohort-verif"];
+pub const OUTCOME_DETERMINING: &[&str] = &[
+    "cohort-sim",
+    "cohort-optim",
+    "cohort-fleet",
+    "cohort-analysis",
+    "cohort-verif",
+    "cohort-cert",
+];
 
 /// Whether `crate_name` is in the outcome-determining set.
 #[must_use]
