@@ -7,9 +7,10 @@
 //!    content-addressed `Certify` fleet jobs; only streaming aggregates
 //!    survive (rates with Wilson 95% intervals, a log2 detection-latency
 //!    histogram, the schedulability curve), never a per-run report.
-//! 2. **Determinism** — the whole campaign runs **twice**; the aggregate
-//!    documents must be bit-identical (fleet scheduling must not leak
-//!    into the estimates).
+//! 2. **Determinism** — the whole campaign runs **twice** over one
+//!    persistent store; the aggregate documents must be bit-identical
+//!    (fleet scheduling must not leak into the estimates) and the second
+//!    run must replay entirely from the memo — zero fresh executions.
 //! 3. **Reproducibility** — convictions are auto-minimized through the
 //!    `cohort-verif` replay harness; every counterexample must re-convict
 //!    under its original fault plan and replay clean on the faithful
@@ -95,7 +96,13 @@ fn main() {
     // Counterexamples land next to the report (results/ in CI).
     let counterexample_dir =
         options.json.as_ref().map(|p| p.parent().unwrap_or(std::path::Path::new(".")).to_owned());
-    let config = campaign_config(quick, counterexample_dir);
+    let mut config = campaign_config(quick, counterexample_dir);
+    // Both runs share one persistent store: run 1 populates it cold, run
+    // 2 must replay the entire campaign from the memo without a single
+    // fresh execution.
+    let store_dir = std::env::temp_dir().join(format!("cohort-cert-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&store_dir).ok();
+    config.store_dir = Some(store_dir.clone());
     let trials_planned = config.fault_trials + config.sched_trials;
 
     println!("certification campaign ({})", if quick { "quick" } else { "full" });
@@ -108,14 +115,24 @@ fn main() {
     let first_seconds = start.elapsed().as_secs_f64();
     print_outcome(&first, first_seconds);
 
-    println!("\nrun 2: same campaign, fresh fleet ...");
+    println!("\nrun 2: same campaign, fresh fleet over the warm store ...");
     let start = Instant::now();
     let second = run_certification(&config).expect("campaign runs");
     let second_seconds = start.elapsed().as_secs_f64();
     let identical = canonical(&first.aggregate_json()) == canonical(&second.aggregate_json());
-    println!("  {second_seconds:.2} s, aggregates bit-identical: {identical}");
+    println!(
+        "  {second_seconds:.2} s, {} fresh execution(s), {} store hit(s), \
+         aggregates bit-identical: {identical}",
+        second.stats.executed, second.stats.store_hits,
+    );
+    std::fs::remove_dir_all(&store_dir).ok();
 
     assert!(identical, "two runs of the same campaign must produce bit-identical aggregates");
+    assert_eq!(first.stats.executed, first.jobs, "a cold store executes every batch");
+    assert_eq!(
+        second.stats.executed, 0,
+        "the warm store replays the whole campaign with zero fresh executions"
+    );
     assert_eq!(
         first.fault.trials + first.sched.trials,
         trials_planned,
@@ -148,6 +165,12 @@ fn main() {
                 "deduplicated": first.stats.queue.deduplicated,
                 "executed": first.stats.executed,
                 "served": first.stats.served,
+                "health": first.stats.health.to_json(),
+            }),
+            "memoized_run": json!({
+                "executed": second.stats.executed,
+                "store_hits": second.stats.store_hits,
+                "health": second.stats.health.to_json(),
             }),
             "seconds": json!({ "run1": first_seconds, "run2": second_seconds }),
         });

@@ -515,11 +515,105 @@ fn check_fleet(doc: &serde_json::Value) -> CheckResult {
     if get(replay, "bit_identical", what)?.as_bool() != Some(true) {
         return Err(format!("{what}: `bit_identical` must be true"));
     }
+
+    // The churn section (schema v2): the chaos campaign must have lost
+    // nothing, convicted only the poison job, repaired every corruption
+    // bit-identically, absorbed at least one disk fault, and reproduced
+    // itself bit for bit.
+    let churn = get(doc, "churn", "fleet")?;
+    let what = "fleet.churn";
+    for key in ["jobs", "cold_executed", "cold_served", "warm_executed", "warm_served"] {
+        expect_u64(churn, key, what)?;
+    }
+    if get(churn, "lost", what)?.as_u64() != Some(0) {
+        return Err(format!("{what}: the campaign lost jobs"));
+    }
+    if get(churn, "runs_identical", what)?.as_bool() != Some(true) {
+        return Err(format!("{what}: the two campaign runs must be bit-identical"));
+    }
+    if get(churn, "kills", what)?.as_u64().unwrap_or(0) == 0 {
+        return Err(format!("{what}: no worker was killed — the chaos hook never fired"));
+    }
+    let quarantine = get(churn, "quarantine", what)?
+        .as_array()
+        .ok_or_else(|| format!("{what}: `quarantine` is not an array"))?;
+    if quarantine.is_empty() {
+        return Err(format!("{what}: the poison job was never quarantined"));
+    }
+    for (i, diag) in quarantine.iter().enumerate() {
+        let what = format!("{what}.quarantine[{i}]");
+        expect_str(diag, "fingerprint", &what)?;
+        expect_u64(diag, "worker", &what)?;
+        if get(diag, "attempts", &what)?.as_u64().unwrap_or(0) == 0 {
+            return Err(format!("{what}: a conviction must record spent attempts"));
+        }
+    }
+    let cold = check_health(get(churn, "cold_health", what)?, &format!("{what}.cold_health"))?;
+    let warm = check_health(get(churn, "warm_health", what)?, &format!("{what}.warm_health"))?;
+    if cold.quarantined != quarantine.len() as u64 {
+        return Err(format!(
+            "{what}: {} quarantine diagnostics listed, cold_health convicted {}",
+            quarantine.len(),
+            cold.quarantined
+        ));
+    }
+    if warm.repairs == 0 {
+        return Err(format!("{what}: the bit-rotted entry was never repaired"));
+    }
+    if warm.repairs_bit_identical != warm.repairs {
+        return Err(format!(
+            "{what}: only {} of {} repairs were bit-identical",
+            warm.repairs_bit_identical, warm.repairs
+        ));
+    }
+    if get(churn, "disk_faults_injected", what)?.as_u64().unwrap_or(0) == 0
+        || cold.disk_retries == 0
+    {
+        return Err(format!("{what}: no transient disk fault was injected and absorbed"));
+    }
     println!(
         "fleet ok: dedup rate {dedup_rate:.2}, {throughput:.0} submissions/s, kill-recovery \
-         bit-identical"
+         bit-identical, churn lost nothing ({} conviction(s), {} repair(s))",
+        quarantine.len(),
+        warm.repairs,
     );
     Ok(())
+}
+
+/// The counters a well-formed `FleetHealth` snapshot must carry.
+struct HealthCounts {
+    quarantined: u64,
+    repairs: u64,
+    repairs_bit_identical: u64,
+    disk_retries: u64,
+}
+
+/// Checks one embedded `FleetHealth` snapshot: all nine counters present
+/// as unsigned integers, and the bounded disk retries never gave up.
+fn check_health(doc: &serde_json::Value, what: &str) -> Result<HealthCounts, String> {
+    for key in [
+        "reclaims",
+        "quarantined",
+        "stale_completions",
+        "corrupt_quarantined",
+        "repairs",
+        "repairs_bit_identical",
+        "evictions",
+        "disk_retries",
+        "disk_give_ups",
+    ] {
+        expect_u64(doc, key, what)?;
+    }
+    let count = |key: &str| get(doc, key, what).ok().and_then(serde_json::Value::as_u64);
+    if count("disk_give_ups") != Some(0) {
+        return Err(format!("{what}: the store gave up on a disk operation"));
+    }
+    Ok(HealthCounts {
+        quarantined: count("quarantined").unwrap_or(0),
+        repairs: count("repairs").unwrap_or(0),
+        repairs_bit_identical: count("repairs_bit_identical").unwrap_or(0),
+        disk_retries: count("disk_retries").unwrap_or(0),
+    })
 }
 
 /// Checks a `lint` static-analysis document (`--lint`, the CI gate's
@@ -620,6 +714,21 @@ fn check_cert(doc: &serde_json::Value) -> CheckResult {
     if get(doc, "runs_identical", "cert")?.as_bool() != Some(true) {
         return Err("cert: `runs_identical` must be true".into());
     }
+
+    // The memoization gate (schema v2): both runs share one persistent
+    // store, so the second must replay entirely from the memo, and both
+    // fleets must have stayed healthy.
+    let fleet = get(doc, "fleet", "cert")?;
+    check_health(get(fleet, "health", "cert.fleet")?, "cert.fleet.health")?;
+    let memo = get(doc, "memoized_run", "cert")?;
+    let what = "cert.memoized_run";
+    if get(memo, "executed", what)?.as_u64() != Some(0) {
+        return Err(format!("{what}: the warm store must replay with zero fresh executions"));
+    }
+    if get(memo, "store_hits", what)?.as_u64().unwrap_or(0) == 0 {
+        return Err(format!("{what}: a replayed campaign must hit the store"));
+    }
+    check_health(get(memo, "health", what)?, &format!("{what}.health"))?;
 
     // The fault campaign: counts must partition and every rate must carry
     // a well-formed Wilson interval.

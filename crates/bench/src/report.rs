@@ -31,8 +31,9 @@ pub const OPTIM: Schema = Schema::new("optim", 1);
 pub const CHAOS: Schema = Schema::new("chaos", 1);
 /// Engine-throughput reports (`BENCH_sim.json`).
 pub const SIM: Schema = Schema::new("sim", 1);
-/// Fleet service benchmark reports (`BENCH_fleet.json`).
-pub const FLEET: Schema = Schema::new("fleet", 1);
+/// Fleet service benchmark reports (`BENCH_fleet.json`). Version 2 adds
+/// the churn chaos campaign and the `FleetHealth` snapshots.
+pub const FLEET: Schema = Schema::new("fleet", 2);
 /// Mode-switch trajectory reports (the `fig7` bin).
 pub const FIG7: Schema = Schema::new("fig7", 1);
 /// Schedulability-curve reports (the `schedulability` bin).
@@ -41,8 +42,9 @@ pub const SCHEDULABILITY: Schema = Schema::new("schedulability", 1);
 pub const TABLE2: Schema = Schema::new("table2", 1);
 /// Static-analysis reports (the `lint` bin).
 pub const LINT: Schema = Schema::new("lint", 1);
-/// Monte Carlo certification reports (`BENCH_cert.json`).
-pub const CERT: Schema = Schema::new("cert", 1);
+/// Monte Carlo certification reports (`BENCH_cert.json`). Version 2 adds
+/// the cross-run store memoization fields and the `FleetHealth` snapshot.
+pub const CERT: Schema = Schema::new("cert", 2);
 
 impl Schema {
     /// A schema constant.
@@ -138,7 +140,7 @@ mod tests {
     fn envelopes_are_stamped_and_checkable() {
         let writer = ReportWriter::new(&FLEET, "fleet");
         let doc = writer.envelope(json!({"quick": true, "shards": 4}));
-        assert_eq!(doc.get("schema").and_then(Value::as_str), Some("fleet/1"));
+        assert_eq!(doc.get("schema").and_then(Value::as_str), Some("fleet/2"));
         assert_eq!(doc.get("generator").and_then(Value::as_str), Some("fleet"));
         assert_eq!(doc.get("shards").and_then(Value::as_u64), Some(4));
         FLEET.check(&doc).unwrap();

@@ -9,6 +9,10 @@ use serde_json::{json, Value};
 use cohort_fleet::{Fleet, FleetStats, JobSpec};
 use cohort_types::{Error, Result};
 
+/// Per-batch wait bound: generous against slow hosts, but finite — a
+/// wedged fleet fails the campaign with a typed error instead of hanging.
+const BATCH_WAIT: std::time::Duration = std::time::Duration::from_mins(10);
+
 use crate::batch::{Campaign, CertBatch};
 use crate::estimate::{FaultAggregate, SchedAggregate};
 use crate::minimize::{minimize_conviction, Counterexample};
@@ -38,6 +42,12 @@ pub struct CertConfig {
     /// (`cert_counterexample_<seed>.json`); `None` keeps them in-memory
     /// only.
     pub counterexample_dir: Option<PathBuf>,
+    /// Mirrors the fleet's result store into this directory, memoizing
+    /// certification batches across runs: a repeated campaign (same
+    /// spaces, trials and seeds — the `JobSpec::Certify` digests cover
+    /// all of it) replays from the store with zero fresh executions.
+    /// `None` keeps the store in-memory, scoped to this run.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for CertConfig {
@@ -52,6 +62,7 @@ impl Default for CertConfig {
             base_seed: 0,
             minimize_limit: 2,
             counterexample_dir: None,
+            store_dir: None,
         }
     }
 }
@@ -111,7 +122,11 @@ fn blocks(base: u64, trials: u64, batch: u64) -> Vec<(u64, u64)> {
 /// as `{"error": ...}` payloads), aggregate-codec errors and
 /// counterexample I/O errors.
 pub fn run_certification(config: &CertConfig) -> Result<CertOutcome> {
-    let fleet = Fleet::builder().shards(config.shards.max(1)).build()?;
+    let mut builder = Fleet::builder().shards(config.shards.max(1));
+    if let Some(dir) = &config.store_dir {
+        builder = builder.store_dir(dir);
+    }
+    let fleet = builder.build()?;
     let client = fleet.client();
 
     // Fault and schedulability seeds draw from disjoint streams: the
@@ -132,11 +147,13 @@ pub fn run_certification(config: &CertConfig) -> Result<CertOutcome> {
     let jobs = tickets.len() as u64;
 
     // Merge payloads in submission order — completion order is a worker
-    // scheduling artifact and must not leak into the aggregates.
+    // scheduling artifact and must not leak into the aggregates. The wait
+    // is bounded: a quarantined or wedged batch surfaces as a typed error
+    // instead of hanging the whole campaign.
     let mut fault = FaultAggregate::default();
     let mut sched = SchedAggregate::default();
     for ticket in &tickets {
-        let payload = client.wait(ticket)?;
+        let payload = client.wait_timeout(ticket, BATCH_WAIT)?;
         if let Some(error) = payload.get("error").and_then(Value::as_str) {
             return Err(Error::InvalidConfig(format!("certification batch failed: {error}")));
         }
@@ -194,6 +211,37 @@ mod tests {
         assert_eq!(blocks(0, 0, 4), Vec::<(u64, u64)>::new());
         let covered: u64 = blocks(7, 1_000, 33).iter().map(|&(_, n)| n).sum();
         assert_eq!(covered, 1_000);
+    }
+
+    #[test]
+    fn a_repeated_campaign_replays_from_the_store_with_zero_fresh_executions() {
+        let dir = std::env::temp_dir().join(format!(
+            "cohort-cert-memo-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let config = CertConfig {
+            fault_trials: 16,
+            sched_trials: 32,
+            batch_trials: 16,
+            shards: 2,
+            minimize_limit: 1,
+            store_dir: Some(dir.clone()),
+            ..CertConfig::default()
+        };
+        let first = run_certification(&config).expect("first campaign runs");
+        assert_eq!(first.stats.executed, first.jobs, "a cold store executes every batch");
+        let second = run_certification(&config).expect("second campaign runs");
+        assert_eq!(
+            second.stats.executed, 0,
+            "a warm store replays the whole campaign with zero fresh executions"
+        );
+        assert_eq!(
+            serde_json::to_string_pretty(&first.aggregate_json()).expect("serialize"),
+            serde_json::to_string_pretty(&second.aggregate_json()).expect("serialize"),
+            "replayed aggregates are bit-identical to the originals"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -34,17 +34,19 @@
 
 mod client;
 pub mod clock;
+pub mod disk;
 mod queue;
 mod spec;
 mod store;
 pub mod sync;
 mod worker;
 
-pub use client::{Fleet, FleetBuilder, FleetClient, FleetStats, Ticket};
+pub use client::{Fleet, FleetBuilder, FleetClient, FleetHealth, FleetStats, Ticket};
 pub use clock::{Clock, SystemClock, TestClock};
-pub use queue::{Claim, JobQueue, QueueStats};
+pub use disk::{Disk, FaultyDisk, SystemDisk};
+pub use queue::{Claim, JobQueue, QuarantineDiag, QueueStats, WaitOutcome};
 pub use spec::{CertifyBatch, JobSpec};
-pub use store::{payload_fingerprint, ResultStore};
+pub use store::{payload_fingerprint, CorruptSidecar, ResultStore, StoreBudget, StoreHealth};
 pub use worker::{
     execute_experiment, ga_payload, outcome_payload, ShardStats, WorkerId, WorkerShard,
 };

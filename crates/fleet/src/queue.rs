@@ -27,6 +27,9 @@ use crate::clock::{Clock, SystemClock};
 use crate::spec::JobSpec;
 use crate::sync::{Condvar, Mutex, MutexGuard};
 
+/// Default attempt budget: five expired leases convict a job as poison.
+const DEFAULT_MAX_ATTEMPTS: u64 = 5;
+
 /// One claimed job, as handed to a worker shard.
 #[derive(Debug, Clone)]
 pub struct Claim {
@@ -43,18 +46,39 @@ enum Status {
     Pending,
     Claimed { worker: WorkerId, deadline_ns: u64 },
     Done,
+    Quarantined,
 }
 
 struct JobState {
     spec: Arc<JobSpec>,
     epoch: Epoch,
     status: Status,
+    /// Leases issued so far (across epoch advances) — the attempt budget.
+    attempts: u64,
+}
+
+/// Why a job was quarantined: the last claim that expired, preserved so
+/// the poison can be reproduced (re-run the spec under that worker's
+/// conditions) and audited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineDiag {
+    /// The quarantined job's content-address.
+    pub fingerprint: Fingerprint,
+    /// Leases issued before the budget ran out.
+    pub attempts: u64,
+    /// The worker holding the final, fatal claim.
+    pub worker: WorkerId,
+    /// The epoch of that final claim.
+    pub epoch: Epoch,
+    /// The final lease's deadline (clock ticks, ns).
+    pub deadline_ns: u64,
 }
 
 #[derive(Default)]
 struct QueueState {
     jobs: BTreeMap<Fingerprint, JobState>,
     pending: VecDeque<Fingerprint>,
+    quarantines: BTreeMap<Fingerprint, QuarantineDiag>,
     closed: bool,
     submitted: u64,
     deduplicated: u64,
@@ -73,6 +97,22 @@ pub struct QueueStats {
     pub reclaims: u64,
     /// Completions rejected because their lease had expired.
     pub stale_completions: u64,
+    /// Jobs moved to the terminal quarantine after exhausting their
+    /// attempt budget.
+    pub quarantined: u64,
+}
+
+/// How a [`JobQueue::wait_outcome`] wait ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The job completed; its payload is in the result store.
+    Done,
+    /// The job exhausted its attempt budget and will never complete.
+    Quarantined(QuarantineDiag),
+    /// The queue closed and drained without ever seeing the job.
+    Shutdown,
+    /// The caller's bound elapsed first.
+    TimedOut,
 }
 
 /// The shared job queue of one fleet.
@@ -80,6 +120,7 @@ pub struct JobQueue {
     state: Mutex<QueueState>,
     cv: Condvar,
     lease_ns: u64,
+    max_attempts: u64,
     clock: Arc<dyn Clock>,
 }
 
@@ -111,8 +152,22 @@ impl JobQueue {
             state: Mutex::new(QueueState::default()),
             cv: Condvar::new(),
             lease_ns: u64::try_from(lease.as_nanos()).unwrap_or(u64::MAX),
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
             clock,
         }
+    }
+
+    /// Sets the attempt budget: a job whose lease expires this many times
+    /// is quarantined instead of re-claimed forever (clamped to at least
+    /// one attempt). Call before sharing the queue.
+    pub fn set_max_attempts(&mut self, max_attempts: u64) {
+        self.max_attempts = max_attempts.max(1);
+    }
+
+    /// The configured attempt budget.
+    #[must_use]
+    pub fn max_attempts(&self) -> u64 {
+        self.max_attempts
     }
 
     // Chaos survival: a simulated worker kill is a panic; the queue must
@@ -148,7 +203,12 @@ impl JobQueue {
         }
         st.jobs.insert(
             fingerprint,
-            JobState { spec: Arc::new(spec), epoch: Epoch::FIRST, status: Status::Pending },
+            JobState {
+                spec: Arc::new(spec),
+                epoch: Epoch::FIRST,
+                status: Status::Pending,
+                attempts: 0,
+            },
         );
         st.pending.push_back(fingerprint);
         self.cv.notify_all();
@@ -176,16 +236,25 @@ impl JobQueue {
         }
         st.jobs.insert(
             fingerprint,
-            JobState { spec: Arc::new(spec), epoch: Epoch::FIRST, status: Status::Done },
+            JobState {
+                spec: Arc::new(spec),
+                epoch: Epoch::FIRST,
+                status: Status::Done,
+                attempts: 0,
+            },
         );
         self.cv.notify_all();
         Ok((fingerprint, true))
     }
 
-    /// Moves every expired lease back to pending at the next epoch.
-    /// `jobs` is a `BTreeMap`, so the sweep (and therefore the re-queue
-    /// order of simultaneously expired leases) is deterministic.
-    fn sweep_expired(st: &mut QueueState, now_ns: u64) {
+    /// Moves every expired lease back to pending at the next epoch — or,
+    /// once the attempt budget is spent, to the terminal quarantine with
+    /// the fatal claim preserved as diagnostics. `jobs` is a `BTreeMap`,
+    /// so the sweep (and therefore the re-queue order of simultaneously
+    /// expired leases) is deterministic. The epoch advances on quarantine
+    /// too, so a slow worker's late completion is rejected as stale —
+    /// exactly one of {late completion lands, quarantine} ever wins.
+    fn sweep_expired(&self, st: &mut QueueState, now_ns: u64) {
         let mut expired: Vec<Fingerprint> = Vec::new();
         for (fp, job) in &st.jobs {
             if let Status::Claimed { deadline_ns, .. } = job.status {
@@ -194,22 +263,44 @@ impl JobQueue {
                 }
             }
         }
+        let mut quarantined_any = false;
         for fp in expired {
             let job = st.jobs.get_mut(&fp).expect("swept job exists");
-            job.epoch = job.epoch.next();
-            job.status = Status::Pending;
-            st.pending.push_back(fp);
-            st.reclaims += 1;
+            let Status::Claimed { worker, deadline_ns } = job.status else { unreachable!() };
+            if job.attempts >= self.max_attempts {
+                let diag = QuarantineDiag {
+                    fingerprint: fp,
+                    attempts: job.attempts,
+                    worker,
+                    epoch: job.epoch,
+                    deadline_ns,
+                };
+                job.epoch = job.epoch.next();
+                job.status = Status::Quarantined;
+                st.quarantines.insert(fp, diag);
+                quarantined_any = true;
+            } else {
+                job.epoch = job.epoch.next();
+                job.status = Status::Pending;
+                st.pending.push_back(fp);
+                st.reclaims += 1;
+            }
+        }
+        if quarantined_any {
+            // Wake waiters parked on the now-hopeless jobs.
+            self.cv.notify_all();
         }
     }
 
     /// Claims the front pending job for `worker` under an already-held
-    /// lock, sweeping expired leases first.
+    /// lock, sweeping expired leases first. Each claim burns one unit of
+    /// the job's attempt budget.
     fn claim_locked(&self, st: &mut QueueState, worker: WorkerId) -> Option<Claim> {
         let now_ns = self.clock.now_ns();
-        Self::sweep_expired(st, now_ns);
+        self.sweep_expired(st, now_ns);
         let fingerprint = st.pending.pop_front()?;
         let job = st.jobs.get_mut(&fingerprint).expect("pending job exists");
+        job.attempts += 1;
         job.status = Status::Claimed { worker, deadline_ns: now_ns.saturating_add(self.lease_ns) };
         Some(Claim { fingerprint, spec: Arc::clone(&job.spec), epoch: job.epoch })
     }
@@ -300,17 +391,41 @@ impl JobQueue {
         Ok(())
     }
 
-    /// Blocks until `fingerprint` completes. Returns `false` if the queue
-    /// closed (and drained) without the job ever completing — only
-    /// possible for fingerprints that were never submitted.
+    /// Blocks until `fingerprint` completes. Returns `false` if the job
+    /// was quarantined, or if the queue closed (and drained) without the
+    /// job ever completing — the only `false` for fingerprints that were
+    /// actually submitted is quarantine. Compatibility wrapper over
+    /// [`JobQueue::wait_outcome`].
     #[must_use]
     pub fn wait_done(&self, fingerprint: Fingerprint) -> bool {
+        self.wait_outcome(fingerprint, None) == WaitOutcome::Done
+    }
+
+    /// Blocks until `fingerprint` reaches a terminal state — done,
+    /// quarantined, or unreachable because the queue closed — or until
+    /// `timeout` (measured on the queue's injected clock) elapses.
+    /// `None` waits without bound.
+    #[must_use]
+    pub fn wait_outcome(&self, fingerprint: Fingerprint, timeout: Option<Duration>) -> WaitOutcome {
+        let deadline_ns = timeout.map(|t| {
+            self.clock.now_ns().saturating_add(u64::try_from(t.as_nanos()).unwrap_or(u64::MAX))
+        });
         let mut st = self.lock();
         loop {
             match st.jobs.get(&fingerprint) {
-                Some(job) if job.status == Status::Done => return true,
-                None if st.closed => return false,
+                Some(job) if job.status == Status::Done => return WaitOutcome::Done,
+                Some(job) if job.status == Status::Quarantined => {
+                    let diag =
+                        *st.quarantines.get(&fingerprint).expect("quarantined job has diagnostics");
+                    return WaitOutcome::Quarantined(diag);
+                }
+                None if st.closed => return WaitOutcome::Shutdown,
                 Some(_) | None => {}
+            }
+            if let Some(deadline_ns) = deadline_ns {
+                if self.clock.now_ns() >= deadline_ns {
+                    return WaitOutcome::TimedOut;
+                }
             }
             #[cfg(not(loom))]
             {
@@ -325,6 +440,43 @@ impl JobQueue {
                 st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         }
+    }
+
+    /// Re-queues a *done* job at the next epoch with a fresh attempt
+    /// budget — the store-repair path: the payload on disk was found
+    /// corrupt, so the job must execute again (determinism re-derives it
+    /// bit-identically). A job that is already pending or claimed (a
+    /// concurrent waiter repaired it first) is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for a fingerprint the queue never
+    /// issued.
+    pub fn requeue(&self, fingerprint: Fingerprint) -> Result<()> {
+        let mut st = self.lock();
+        let job = st.jobs.get_mut(&fingerprint).ok_or_else(|| {
+            Error::InvalidConfig(format!("requeue for unknown job {fingerprint}"))
+        })?;
+        if job.status == Status::Done {
+            job.epoch = job.epoch.next();
+            job.status = Status::Pending;
+            job.attempts = 0;
+            st.pending.push_back(fingerprint);
+            self.cv.notify_all();
+        }
+        Ok(())
+    }
+
+    /// The quarantine diagnostics for `fingerprint`, if it was convicted.
+    #[must_use]
+    pub fn quarantine_diag(&self, fingerprint: Fingerprint) -> Option<QuarantineDiag> {
+        self.lock().quarantines.get(&fingerprint).copied()
+    }
+
+    /// Every quarantine so far, in fingerprint order (deterministic).
+    #[must_use]
+    pub fn quarantines(&self) -> Vec<QuarantineDiag> {
+        self.lock().quarantines.values().copied().collect()
     }
 
     /// Closes the queue: no new submissions; workers drain the remaining
@@ -343,6 +495,7 @@ impl JobQueue {
             deduplicated: st.deduplicated,
             reclaims: st.reclaims,
             stale_completions: st.stale_completions,
+            quarantined: st.quarantines.len() as u64,
         }
     }
 }
@@ -446,6 +599,70 @@ mod tests {
         let claim = q.try_claim(WorkerId::new(0)).expect("pending job claimable");
         assert_eq!(claim.fingerprint, fp);
         assert!(q.try_claim(WorkerId::new(1)).is_none(), "claimed job is not re-claimable");
+    }
+
+    #[test]
+    fn a_poison_job_is_quarantined_after_its_attempt_budget() {
+        let (mut q, clock) = clocked(Duration::from_millis(10));
+        q.set_max_attempts(3);
+        let (fp, _) = q.submit(job(11)).unwrap();
+        // Three claims, three expiries: the first two sweep back to
+        // pending (reclaims), the third convicts.
+        let mut last = None;
+        for _ in 0..3 {
+            last = q.try_claim(WorkerId::new(7));
+            assert!(last.is_some(), "job is claimable until convicted");
+            clock.advance(Duration::from_millis(15));
+        }
+        assert!(q.try_claim(WorkerId::new(8)).is_none(), "quarantined job is never re-claimed");
+        let stats = q.stats();
+        assert_eq!((stats.reclaims, stats.quarantined), (2, 1));
+        let diag = q.quarantine_diag(fp).expect("diagnostics recorded");
+        assert_eq!(diag.fingerprint, fp);
+        assert_eq!(diag.attempts, 3);
+        assert_eq!(diag.worker, WorkerId::new(7));
+        assert_eq!(diag.epoch, last.unwrap().epoch, "diag names the fatal claim");
+        // A waiter sees the quarantine instead of hanging.
+        assert_eq!(q.wait_outcome(fp, None), WaitOutcome::Quarantined(diag));
+        assert!(!q.wait_done(fp));
+        // The slow worker's late completion is rejected as stale.
+        let err = q.complete(fp, diag.epoch).unwrap_err();
+        assert!(matches!(err, Error::LeaseExpired { .. }), "{err}");
+    }
+
+    #[test]
+    fn wait_outcome_times_out_on_the_injected_clock() {
+        let (q, clock) = clocked(Duration::from_secs(10));
+        let (fp, _) = q.submit(job(12)).unwrap();
+        // Nothing will ever complete the job: a zero bound trips on the
+        // first deadline check instead of hanging the caller.
+        assert_eq!(q.wait_outcome(fp, Some(Duration::ZERO)), WaitOutcome::TimedOut);
+        clock.advance(Duration::from_millis(5));
+        assert_eq!(q.wait_outcome(fp, Some(Duration::ZERO)), WaitOutcome::TimedOut);
+        // A terminal state beats any bound.
+        let claim = q.claim(WorkerId::new(0)).unwrap();
+        q.complete(fp, claim.epoch).unwrap();
+        assert_eq!(q.wait_outcome(fp, Some(Duration::ZERO)), WaitOutcome::Done);
+    }
+
+    #[test]
+    fn requeue_reopens_a_done_job_at_a_fresh_epoch_and_budget() {
+        let (q, _clock) = clocked(Duration::from_secs(10));
+        let (fp, _) = q.submit(job(13)).unwrap();
+        let claim = q.claim(WorkerId::new(0)).unwrap();
+        q.complete(fp, claim.epoch).unwrap();
+        assert!(q.wait_done(fp));
+        // Store repair path: the payload was found corrupt, re-derive it.
+        q.requeue(fp).unwrap();
+        let repair = q.try_claim(WorkerId::new(1)).expect("requeued job claimable");
+        assert_eq!(repair.fingerprint, fp);
+        assert_eq!(repair.epoch, claim.epoch.next(), "epoch advanced past the stale completion");
+        // Double-requeue while pending/claimed is a no-op.
+        q.requeue(fp).unwrap();
+        assert!(q.try_claim(WorkerId::new(2)).is_none());
+        q.complete(fp, repair.epoch).unwrap();
+        assert!(q.wait_done(fp));
+        assert!(q.requeue(Fingerprint::from_raw(0x999)).is_err(), "unknown job rejected");
     }
 
     #[test]

@@ -10,11 +10,14 @@
 //! bit-identical to the uninterrupted run, per `cohort-optim`'s
 //! checkpoint contract).
 
+use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use serde_json::{json, Value};
+
+use cohort_types::Fingerprint;
 
 use cohort::{ExperimentJob, ExperimentOutcome, Sweep};
 use cohort_optim::{
@@ -58,6 +61,7 @@ pub struct WorkerShard {
     crash_after_generations: Option<usize>,
     crash_before_complete: u64,
     crashed: AtomicU64,
+    poison: Arc<BTreeSet<Fingerprint>>,
 }
 
 impl WorkerShard {
@@ -72,7 +76,18 @@ impl WorkerShard {
             crash_after_generations: None,
             crash_before_complete: 0,
             crashed: AtomicU64::new(0),
+            poison: Arc::new(BTreeSet::new()),
         }
+    }
+
+    /// Chaos hook: jobs in this set panic on every execution attempt, on
+    /// every shard — the poison-job model. No worker can ever complete
+    /// them, so their leases keep expiring until the queue's attempt
+    /// budget quarantines them.
+    #[must_use]
+    pub fn poison_jobs(mut self, poison: Arc<BTreeSet<Fingerprint>>) -> Self {
+        self.poison = poison;
+        self
     }
 
     /// Chaos hook: panic (simulating a kill) after a GA job's `n`-th
@@ -107,10 +122,21 @@ impl WorkerShard {
         while let Some(claim) = self.queue.claim(self.id) {
             // A store hit means an earlier epoch (or a previous fleet run
             // sharing the persistent store) already computed this payload:
-            // complete without re-executing.
-            if let Ok(Some(_)) = self.store.get(claim.fingerprint) {
-                self.finish(&claim, &self.stats.served);
-                continue;
+            // complete without re-executing. A *corrupt* hit is moved to
+            // its forensic sidecar and the claim falls through to
+            // execution — the self-healing repair path.
+            match self.store.get(claim.fingerprint) {
+                Ok(Some(_)) => {
+                    self.finish(&claim, &self.stats.served);
+                    continue;
+                }
+                Ok(None) => {}
+                Err(_corrupt) => {
+                    // The put below re-derives the payload; the store
+                    // remembers the quarantine and verifies the repair's
+                    // bit-identity itself.
+                    self.store.quarantine_corrupt(claim.fingerprint);
+                }
             }
             let outcome = catch_unwind(AssertUnwindSafe(|| self.execute(&claim)));
             match outcome {
@@ -153,6 +179,12 @@ impl WorkerShard {
     /// `{"error": ...}` payload), not retries: a deterministic job that
     /// failed once will fail identically forever.
     fn execute(&self, claim: &Claim) -> Value {
+        assert!(
+            !self.poison.contains(&claim.fingerprint),
+            "chaos: poison job {} crashed worker {:?}",
+            claim.fingerprint,
+            self.id
+        );
         let result = match claim.spec.as_ref() {
             JobSpec::Experiment { spec, protocol, workload } => {
                 execute_experiment(spec, protocol, workload)

@@ -8,7 +8,8 @@ use std::time::Duration;
 
 use cohort::{Protocol, SystemSpec};
 use cohort_fleet::{
-    execute_experiment, ga_payload, Fleet, JobQueue, JobSpec, ResultStore, WorkerId, WorkerShard,
+    execute_experiment, ga_payload, Clock, Fleet, JobQueue, JobSpec, ResultStore, TestClock,
+    WaitOutcome, WorkerId, WorkerShard,
 };
 use cohort_optim::{GaConfig, GaRun, TimerProblem};
 use cohort_trace::{micro, Workload};
@@ -171,14 +172,60 @@ fn the_persistent_memo_answers_a_later_fleet_run_without_executing() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// 64-iteration stress twin of the loom model
+/// `quarantine_races_slow_completion_exactly_one_wins` (tests/loom.rs),
+/// runnable without `--cfg loom`: real threads race a late completion
+/// against the sweep that convicts a budget-exhausted job. Exactly one of
+/// {late completion lands, quarantine} may win — never both, never
+/// neither.
 #[test]
-fn a_tampered_store_entry_surfaces_as_corruption_not_a_wrong_answer() {
+fn quarantine_vs_slow_completion_stress_exactly_one_wins() {
+    let workload = Arc::new(micro::ping_pong(2, 20));
+    for round in 0..64 {
+        let clock = Arc::new(TestClock::new());
+        let mut queue =
+            JobQueue::with_clock(Duration::from_millis(10), Arc::clone(&clock) as Arc<dyn Clock>);
+        queue.set_max_attempts(1);
+        let queue = Arc::new(queue);
+        let (fp, _) = queue.submit(experiment(&workload)).unwrap();
+        let slow = queue.try_claim(WorkerId::new(0)).expect("first claim");
+        clock.advance(Duration::from_millis(20));
+
+        let (slow_landed, swept_claim) = std::thread::scope(|s| {
+            let qa = Arc::clone(&queue);
+            let slow_epoch = slow.epoch;
+            let t_slow = s.spawn(move || qa.complete(fp, slow_epoch).is_ok());
+            let qb = Arc::clone(&queue);
+            let t_sweep = s.spawn(move || qb.try_claim(WorkerId::new(1)).is_some());
+            (t_slow.join().unwrap(), t_sweep.join().unwrap())
+        });
+        assert!(!swept_claim, "attempt budget 1: the job is never re-claimed (round {round})");
+        let stats = queue.stats();
+        let quarantined = stats.quarantined == 1;
+        assert!(
+            slow_landed ^ quarantined,
+            "round {round}: exactly one outcome (slow={slow_landed}, quarantined={quarantined})"
+        );
+        if quarantined {
+            assert_eq!(stats.stale_completions, 1, "round {round}");
+            assert!(matches!(
+                queue.wait_outcome(fp, None),
+                WaitOutcome::Quarantined(diag) if diag.fingerprint == fp && diag.attempts == 1
+            ));
+        } else {
+            assert!(queue.wait_done(fp));
+        }
+    }
+}
+
+#[test]
+fn a_tampered_store_entry_is_quarantined_and_repaired_bit_identically() {
     let dir = std::env::temp_dir().join("cohort-fleet-corruption-test");
     std::fs::remove_dir_all(&dir).ok();
     let workload = Arc::new(micro::ping_pong(2, 10));
 
     let first = Fleet::builder().shards(1).store_dir(&dir).build().unwrap();
-    first.client().run(experiment(&workload)).unwrap();
+    let original = first.client().run(experiment(&workload)).unwrap();
     let _ = first.shutdown();
 
     // Corrupt the payload on disk behind the fleet's back.
@@ -190,13 +237,97 @@ fn a_tampered_store_entry_surfaces_as_corruption_not_a_wrong_answer() {
     let tampered = std::fs::read_to_string(&entry).unwrap().replace("experiment", "tampered");
     std::fs::write(&entry, tampered).unwrap();
 
+    // The next run's submission reads (not just probes) the memo, finds
+    // the corruption, quarantines the entry to a forensic sidecar and
+    // queues the job for fresh execution — the caller sees a healthy,
+    // bit-identical answer.
     let second = Fleet::builder().shards(1).store_dir(&dir).build().unwrap();
     let client = second.client();
     let ticket = client.submit(experiment(&workload)).unwrap();
-    assert!(ticket.cached, "the tampered entry still looks present at submit time");
-    let err = client.wait(&ticket).unwrap_err();
-    assert!(matches!(err, Error::StoreCorrupt { .. }), "{err}");
-    assert!(err.to_string().contains("mismatch"), "{err}");
-    let _ = second.shutdown();
+    assert!(!ticket.cached, "corruption is caught at submit; the job queues for execution");
+    let repaired = client.wait(&ticket).unwrap();
+    assert_eq!(canonical(&repaired), canonical(&original), "repair is bit-identical");
+
+    let stats = second.shutdown();
+    assert_eq!(stats.executed, 1, "the repair re-executed the job");
+    assert_eq!(stats.health.corrupt_quarantined, 1);
+    assert_eq!(stats.health.repairs, 1);
+    assert_eq!(
+        stats.health.repairs_bit_identical, 1,
+        "the sidecar's recorded fingerprint matched the re-derived payload"
+    );
+    assert_eq!(stats.queue.quarantined, 0, "store repair is not a job quarantine");
+    let sidecar = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.to_string_lossy().ends_with(".json.corrupt"))
+        .expect("forensic sidecar preserved");
+    assert!(std::fs::read_to_string(&sidecar).unwrap().contains("tampered"));
+    // And the mirror now holds the healthy envelope again.
+    let healed = std::fs::read_to_string(&entry).unwrap();
+    assert!(healed.contains("experiment") && !healed.contains("tampered"));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_poison_job_quarantines_with_diagnostics_instead_of_hanging_the_caller() {
+    let workload = Arc::new(micro::ping_pong(2, 14));
+    let poison_fp = experiment(&workload).fingerprint();
+    let fleet = Fleet::builder()
+        .shards(2)
+        .lease(Duration::from_millis(40))
+        .max_attempts(3)
+        .poison(poison_fp)
+        .build()
+        .unwrap();
+    let client = fleet.client();
+
+    // A healthy job shares the fleet with the poison one and must be
+    // unaffected.
+    let healthy = Arc::new(micro::random_shared(2, 8, 100, 0.5, 3));
+    let healthy_ticket = client.submit(experiment(&healthy)).unwrap();
+    let poison_ticket = client.submit(experiment(&workload)).unwrap();
+
+    let err = client.wait(&poison_ticket).unwrap_err();
+    let Error::JobQuarantined { key, attempts, epoch, .. } = &err else {
+        panic!("expected JobQuarantined, got {err}");
+    };
+    assert_eq!(*key, poison_fp.to_hex());
+    assert_eq!(*attempts, 3, "the full attempt budget was spent");
+    assert!(*epoch >= 3, "each attempt advanced the epoch");
+    assert!(client.wait(&healthy_ticket).is_ok(), "poison never starves healthy work");
+
+    let diags = fleet.quarantines();
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].fingerprint, poison_fp);
+    let stats = fleet.shutdown();
+    assert_eq!(stats.queue.quarantined, 1);
+    assert_eq!(stats.health.quarantined, 1);
+    assert_eq!(stats.health.reclaims, 2, "two reclaims preceded the conviction");
+}
+
+#[test]
+fn wait_timeout_bounds_a_wait_with_a_typed_error() {
+    let workload = Arc::new(micro::ping_pong(2, 18));
+    let poison_fp = experiment(&workload).fingerprint();
+    // Poison with a *long* lease: the job will sit claimed far past any
+    // reasonable wait, which used to mean a hung caller.
+    let fleet = Fleet::builder()
+        .shards(1)
+        .lease(Duration::from_secs(30))
+        .poison(poison_fp)
+        .build()
+        .unwrap();
+    let client = fleet.client();
+    let ticket = client.submit(experiment(&workload)).unwrap();
+    let err = client.wait_timeout(&ticket, Duration::from_millis(120)).unwrap_err();
+    assert!(matches!(err, Error::WaitTimedOut { .. }), "{err}");
+    assert!(err.to_string().contains("timed out"), "{err}");
+    // Shutdown still drains: the poison job's lease must expire first,
+    // but the queue sweeps it and (budget left) re-claims until the
+    // default budget convicts it. Use a fresh short-lease check instead
+    // of waiting 30 s: just verify stats are reachable without hanging.
+    let stats = fleet.stats();
+    assert!(stats.queue.submitted >= 1);
+    drop(fleet); // leak the worker threads rather than wait out the lease
 }

@@ -112,6 +112,53 @@ fn slow_completion_races_reclaim_exactly_one_lands() {
 }
 
 #[test]
+fn quarantine_races_slow_completion_exactly_one_wins() {
+    loom::model(|| {
+        let clock = Arc::new(TestClock::new());
+        let mut queue =
+            JobQueue::with_clock(Duration::from_millis(10), Arc::clone(&clock) as Arc<dyn Clock>);
+        queue.set_max_attempts(1);
+        let q = Arc::new(queue);
+        let (fp, _) = q.submit(job(12)).unwrap();
+        let slow = q.try_claim(WorkerId::new(0)).expect("first claim");
+        // The lease expires while worker 0 is still computing — and the
+        // attempt budget is already spent, so the next sweep convicts.
+        clock.advance(Duration::from_millis(20));
+        let qa = Arc::clone(&q);
+        let slow_epoch = slow.epoch;
+        let t_slow = loom::thread::spawn(move || qa.complete(fp, slow_epoch).is_ok());
+        let qb = Arc::clone(&q);
+        let t_sweep = loom::thread::spawn(move || {
+            assert!(
+                qb.try_claim(WorkerId::new(1)).is_none(),
+                "attempt budget 1: the job is never re-claimed"
+            );
+        });
+        let slow_landed = t_slow.join().unwrap();
+        t_sweep.join().unwrap();
+        let stats = q.stats();
+        let quarantined = stats.quarantined == 1;
+        // The heart of the model: whichever thread won the lock, exactly
+        // one of {late completion lands, quarantine} happened — never
+        // both, never neither.
+        assert!(
+            slow_landed ^ quarantined,
+            "exactly one outcome (slow={slow_landed}, quarantined={quarantined})"
+        );
+        if quarantined {
+            assert_eq!(stats.stale_completions, 1, "the late completion was rejected as stale");
+            let diag = q.quarantine_diag(fp).expect("conviction carries diagnostics");
+            assert_eq!(diag.attempts, 1);
+            assert_eq!(diag.worker, WorkerId::new(0));
+            assert!(matches!(q.wait_outcome(fp, None), cohort_fleet::WaitOutcome::Quarantined(_)));
+        } else {
+            assert_eq!(stats.stale_completions, 0);
+            assert!(q.wait_done(fp));
+        }
+    });
+}
+
+#[test]
 fn stale_epoch_is_rejected_after_reclaim() {
     loom::model(|| {
         let (q, clock) = clocked(Duration::from_millis(10));

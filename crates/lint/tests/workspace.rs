@@ -6,7 +6,7 @@
 
 use std::path::Path;
 
-use cohort_lint::analyze_workspace;
+use cohort_lint::{analyze_files, analyze_workspace, registry, source::walk_workspace};
 
 #[test]
 fn workspace_is_lint_clean() {
@@ -27,4 +27,34 @@ fn workspace_is_lint_clean() {
             diag.render()
         );
     }
+}
+
+/// The disk fault-injection layer feeds the self-healing guarantees, so
+/// it must be deterministic *by construction*: `FaultyDisk` schedules its
+/// transient faults from seeded arithmetic, never wall time or ambient
+/// RNG. `cohort-fleet` sits in the DET scope, so any such hazard in
+/// `disk.rs` would surface as a diagnostic — assert the file is scanned
+/// and needs not even a justified suppression.
+#[test]
+fn the_disk_fault_layer_is_deterministic_without_suppressions() {
+    assert!(
+        registry::is_outcome_determining("cohort-fleet"),
+        "the fleet (and its Disk impls) must stay in the DET lint scope"
+    );
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let files = walk_workspace(&root).expect("workspace walk");
+    let disk: Vec<_> =
+        files.into_iter().filter(|f| f.rel_path == "crates/fleet/src/disk.rs").collect();
+    assert_eq!(disk.len(), 1, "the walker must scan the Disk implementations");
+    let analysis = analyze_files(&disk);
+    assert!(
+        analysis.diagnostics.is_empty(),
+        "disk.rs must carry zero hazards, suppressed or not:\n{}",
+        analysis
+            .diagnostics
+            .iter()
+            .map(cohort_lint::Diagnostic::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 }

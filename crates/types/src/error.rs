@@ -80,6 +80,43 @@ pub enum Error {
         /// What the corruption check found wrong.
         detail: String,
     },
+    /// A fleet job exhausted its attempt budget: every issued lease
+    /// expired without a completion, so the queue moved the job to the
+    /// `Quarantined` terminal state instead of re-claiming it forever (a
+    /// poison job crashes whichever worker touches it). The diagnostics
+    /// name the last claim so the poison can be reproduced.
+    JobQuarantined {
+        /// The job's content-address key (hex fingerprint).
+        key: String,
+        /// How many leases were issued before the budget ran out.
+        attempts: u64,
+        /// The worker holding the final, fatal claim.
+        worker: u64,
+        /// The epoch of the final claim.
+        epoch: u64,
+        /// The final lease's deadline (clock ticks, ns).
+        deadline_ns: u64,
+    },
+    /// A bounded wait on a fleet job elapsed before the job reached a
+    /// terminal state — the caller chose not to block forever on a stuck
+    /// queue.
+    WaitTimedOut {
+        /// The awaited job's content-address key (hex fingerprint).
+        key: String,
+        /// How long the caller waited (milliseconds).
+        waited_ms: u64,
+    },
+    /// The persistent store mirror kept failing past its bounded,
+    /// deterministically-seeded retry backoff — the disk fault was not
+    /// transient, and the store gives up rather than spin forever.
+    StoreUnavailable {
+        /// The path the mirror was writing.
+        path: String,
+        /// Write attempts made before giving up.
+        attempts: u64,
+        /// The final I/O error.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -111,6 +148,19 @@ impl fmt::Display for Error {
             Error::StoreCorrupt { key, detail } => {
                 write!(f, "store entry {key} is corrupt: {detail}")
             }
+            Error::JobQuarantined { key, attempts, worker, epoch, deadline_ns } => {
+                write!(
+                    f,
+                    "job {key} quarantined after {attempts} expired leases (last claim: worker \
+                     {worker}, epoch {epoch}, deadline {deadline_ns} ns)"
+                )
+            }
+            Error::WaitTimedOut { key, waited_ms } => {
+                write!(f, "wait for job {key} timed out after {waited_ms} ms")
+            }
+            Error::StoreUnavailable { path, attempts, detail } => {
+                write!(f, "store mirror at {path} unavailable after {attempts} attempts: {detail}")
+            }
         }
     }
 }
@@ -136,6 +186,19 @@ mod tests {
             Error::StoreCorrupt {
                 key: "00ab".into(),
                 detail: "payload fingerprint mismatch".into(),
+            },
+            Error::JobQuarantined {
+                key: "00ab".into(),
+                attempts: 3,
+                worker: 1,
+                epoch: 3,
+                deadline_ns: 90_000,
+            },
+            Error::WaitTimedOut { key: "00ab".into(), waited_ms: 250 },
+            Error::StoreUnavailable {
+                path: "/tmp/memo/00ab.json".into(),
+                attempts: 4,
+                detail: "injected transient failure".into(),
             },
         ];
         for err in cases {
